@@ -1,0 +1,1 @@
+examples/branch_loop.ml: Area Elastic_core Elastic_netlist Elastic_perf Elastic_sched Elastic_sim Figures Fmt List Scheduler Speculation Timing

@@ -1,0 +1,1 @@
+examples/processor_pipeline.ml: Elastic_core Elastic_kernel Elastic_netlist Elastic_sched Elastic_sim Examples Fmt List Scheduler Speculation Timing Transfer Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Area Elastic_core Elastic_netlist Elastic_sched Elastic_sim Equiv Figures Fmt Scheduler Speculation Timing

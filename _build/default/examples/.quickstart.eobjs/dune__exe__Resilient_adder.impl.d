@@ -1,0 +1,1 @@
+examples/resilient_adder.ml: Area Elastic_core Elastic_kernel Elastic_netlist Elastic_sim Examples Fmt List Transfer Value

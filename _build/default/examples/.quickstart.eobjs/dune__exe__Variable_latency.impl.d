@@ -1,0 +1,1 @@
+examples/variable_latency.ml: Alu Area Elastic_core Elastic_datapath Elastic_kernel Elastic_netlist Elastic_sim Examples Fmt List Timing

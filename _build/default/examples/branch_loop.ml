@@ -1,0 +1,68 @@
+(* The §2 walk-through on the branch-predictor-style loop of Fig. 1: the
+   select is the "branch outcome", the two inputs are next-PC /
+   taken-PC.  The example derives variants (b), (c), (d) from (a) with
+   the library's transformations, sweeps prediction accuracy, and prints
+   the Table 1 trace.  Run with: dune exec examples/branch_loop.exe *)
+
+open Elastic_sched
+open Elastic_netlist
+open Elastic_core
+
+let throughput net sink cycles =
+  let eng = Elastic_sim.Engine.create net in
+  Elastic_sim.Engine.run eng cycles;
+  Elastic_sim.Engine.windowed_throughput eng sink
+
+let () =
+  let params = Figures.default_params in
+  let a = Figures.fig1a ~params () in
+  Fmt.pr "== The decision loop of Fig. 1 ==@.";
+  Fmt.pr "critical cycle candidates:@.";
+  List.iter
+    (fun c -> Fmt.pr "  %a@." Speculation.pp_candidate c)
+    (Speculation.candidates a.Figures.net);
+
+  Fmt.pr "@.== Design points (200 cycles each) ==@.";
+  let line name (h : Figures.handles) =
+    let tput = throughput h.Figures.net h.Figures.sink 200 in
+    let ct = Timing.cycle_time h.Figures.net in
+    let bound = Elastic_perf.Marked_graph.throughput_bound h.Figures.net in
+    Fmt.pr
+      "  %-26s tput %.3f (bound %.3f)  cycle %5.2f  eff %6.2f  area %6.1f@."
+      name tput bound ct (ct /. tput) (Area.total h.Figures.net)
+  in
+  line "fig1a non-speculative" a;
+  line "fig1b bubble (tput 1/2!)" (Figures.fig1b ~params ());
+  line "fig1c Shannon (2x F)" (Figures.fig1c ~params ());
+  line "fig1d speculation oracle" (Figures.fig1d ~params ());
+
+  Fmt.pr "@.== Fig. 1(d): prediction accuracy sweep ==@.";
+  List.iter
+    (fun acc ->
+       let h =
+         Figures.fig1d ~params
+           ~sched:
+             (Scheduler.Noisy_oracle
+                { sel = params.Figures.sel; accuracy_pct = acc; seed = 11 })
+           ()
+       in
+       let tput = throughput h.Figures.net h.Figures.sink 400 in
+       Fmt.pr "  accuracy %3d%%  throughput %.3f@." acc tput)
+    [ 50; 60; 70; 80; 90; 95; 100 ];
+
+  Fmt.pr "@.== Practical schedulers ==@.";
+  List.iter
+    (fun (name, sched) ->
+       let h = Figures.fig1d ~params ~sched () in
+       let tput = throughput h.Figures.net h.Figures.sink 400 in
+       Fmt.pr "  %-12s throughput %.3f@." name tput)
+    [ ("sticky", Scheduler.Sticky); ("toggle", Scheduler.Toggle);
+      ("two-bit", Scheduler.Two_bit);
+      ("round-robin", Scheduler.Round_robin) ];
+
+  Fmt.pr "@.== Table 1 (paper trace, cycle-exact) ==@.";
+  let rows = Figures.table1_trace (Figures.table1 ()) in
+  Fmt.pr "%a" Figures.pp_table1 rows;
+  Fmt.pr
+    "(the paper prints G in EBin at cycle 6, inconsistent with its own \
+     Sel row; the consistent value is F — see EXPERIMENTS.md)@."

@@ -1,0 +1,83 @@
+(* The paper's motivating scenario (Sec. 1): "the most typical example of
+   speculation is in the execution of branch instructions when the target
+   address is predicted without knowing the outcome of the branch."
+
+   This example builds an elastic next-PC loop for a small program with
+   two branches of different biases, applies the speculation recipe with
+   the library (Shannon decomposition + early evaluation + sharing), and
+   compares branch predictors — including a gshare predictor that learns
+   the program's patterns.
+
+   Run with: dune exec examples/processor_pipeline.exe *)
+
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+open Elastic_core
+
+(* The loop itself lives in the library (Elastic_core.Examples.pc_loop);
+   this example narrates it and compares predictors. *)
+
+let pc_of = Examples.pc_of
+
+let run net k cycles =
+  (* Plain (not windowed) throughput: a starving predictor must show up
+     as a low IPC, not as a fast prefix. *)
+  let eng = Elastic_sim.Engine.create net in
+  Elastic_sim.Engine.run eng cycles;
+  (Elastic_sim.Engine.throughput eng k,
+   Transfer.values (Elastic_sim.Engine.sink_stream eng k),
+   eng)
+
+let () =
+  Fmt.pr "== Branch speculation on an elastic next-PC loop ==@.";
+  let pl = Examples.pc_loop () in
+  let net = pl.Examples.pl_net
+  and mux = pl.Examples.pl_mux
+  and k = pl.Examples.pl_sink in
+  let ipc0, trace0, _ = run net k 400 in
+  Fmt.pr
+    "program: 7 instructions, inner branch taken 3/4, outer always \
+     taken@.";
+  Fmt.pr "committed pc trace (first 16): %a@."
+    Fmt.(list ~sep:sp int)
+    (List.filteri (fun i _ -> i < 16) (List.map Value.to_int trace0)
+     |> List.map pc_of);
+  Fmt.pr "@.non-speculative loop: IPC %.3f  cycle time %.2f@." ipc0
+    (Timing.cycle_time net);
+  (match Speculation.candidates net with
+   | c :: _ -> Fmt.pr "speculation candidate: %a@." Speculation.pp_candidate c
+   | [] -> assert false);
+  Fmt.pr "@.speculating on the fetch block with different predictors:@.";
+  let reference = trace0 in
+  List.iter
+    (fun (name, sched) ->
+       let r = Speculation.speculate net ~mux ~sched in
+       let ipc, trace, eng = run r.Speculation.net k 400 in
+       (* The committed stream must be identical: speculation never
+          changes the architectural trace. *)
+       let n = min (List.length reference) (List.length trace) in
+       assert
+         (List.for_all2 Value.equal
+            (List.filteri (fun i _ -> i < n) reference)
+            (List.filteri (fun i _ -> i < n) trace));
+       let misses =
+         match Elastic_sim.Engine.schedulers eng with
+         | [ (_, s) ] -> Scheduler.mispredictions s
+         | _ -> 0
+       in
+       Fmt.pr
+         "  %-12s IPC %.3f  cycle time %.2f  commits %d  mispredicts %d@."
+         name ipc
+         (Timing.cycle_time r.Speculation.net)
+         (List.length trace) misses)
+    [ ("static-NT (starves!)", Scheduler.Static 0);
+      ("sticky", Scheduler.Sticky);
+      ("two-bit", Scheduler.Two_bit);
+      ("gshare-4", Scheduler.Gshare { history_bits = 4 });
+      ("gshare-8", Scheduler.Gshare { history_bits = 8 }) ];
+  Fmt.pr
+    "@.the gshare predictor learns both the T T T N inner pattern and \
+     the@.monotone outer branch, approaching the Shannon-decomposed \
+     design's@.performance at a fraction of the duplicated-fetch area \
+     (Sec. 2).@."

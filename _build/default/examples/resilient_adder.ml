@@ -1,0 +1,53 @@
+(* §5.2: SECDED-protected 64-bit adder, non-speculative extra stage
+   (Fig. 7(a)) vs speculative replay (Fig. 7(b)).
+   Run with: dune exec examples/resilient_adder.exe *)
+
+open Elastic_kernel
+open Elastic_netlist
+open Elastic_core
+
+let first_delivery eng sink =
+  match Transfer.entries (Elastic_sim.Engine.sink_stream eng sink) with
+  | e :: _ -> e.Transfer.cycle
+  | [] -> -1
+
+let () =
+  Fmt.pr "== Resilient adder with SECDED (Fig. 7) ==@.";
+  Fmt.pr
+    "Each 64-bit operand carries 8 SECDED check bits; single-bit upsets \
+     are@.injected in flight and must be corrected before the sum is \
+     used.@.@.";
+  let n = 300 in
+  Fmt.pr "  %-6s | %-24s | %-24s@." "err%" "non-speculative (7a)"
+    "speculative (7b)";
+  Fmt.pr "  %-6s | %-9s %-13s | %-9s %-13s@." "" "tput" "1st delivery"
+    "tput" "1st delivery";
+  List.iter
+    (fun pct ->
+       let ops = Examples.rs_ops ~error_rate_pct:pct ~seed:5 n in
+       let run (d : Examples.design) =
+         let eng = Elastic_sim.Engine.create d.Examples.d_net in
+         Elastic_sim.Engine.run eng (2 * n);
+         let got =
+           Transfer.values (Elastic_sim.Engine.sink_stream eng d.Examples.d_sink)
+         in
+         assert (List.equal Value.equal got (Examples.rs_reference ops));
+         (Elastic_sim.Engine.windowed_throughput eng d.Examples.d_sink,
+          first_delivery eng d.Examples.d_sink)
+       in
+       let tn, ln = run (Examples.rs_nonspeculative ~ops) in
+       let ts, ls = run (Examples.rs_speculative ~ops) in
+       Fmt.pr "  %-6d | %-9.3f cycle %-7d | %-9.3f cycle %-7d@." pct tn ln
+         ts ls)
+    [ 0; 2; 5; 10; 25 ];
+  let ops = Examples.rs_ops ~error_rate_pct:0 ~seed:5 4 in
+  let an = Area.total (Examples.rs_nonspeculative ~ops).Examples.d_net in
+  let asp = Area.total (Examples.rs_speculative ~ops).Examples.d_net in
+  Fmt.pr
+    "@.all sums verified correct (errors corrected in both designs)@.";
+  Fmt.pr "speculation removes one pipeline stage of latency;@.";
+  Fmt.pr "error-free throughput penalty: none; one cycle lost per \
+          corrected error@.";
+  Fmt.pr "area overhead on the stage: %.1f%% (paper: ~36%%, dominated by \
+          the recovery EBs)@."
+    (100.0 *. ((asp -. an) /. an))

@@ -1,0 +1,53 @@
+(* §5.1: the variable-latency ALU, stalling (Fig. 6(a)) vs speculative
+   replay (Fig. 6(b)).  Run with: dune exec examples/variable_latency.exe *)
+
+open Elastic_netlist
+open Elastic_datapath
+open Elastic_core
+
+let measure (d : Examples.design) cycles =
+  let eng = Elastic_sim.Engine.create d.Examples.d_net in
+  Elastic_sim.Engine.run eng cycles;
+  (Elastic_sim.Engine.windowed_throughput eng d.Examples.d_sink,
+   Timing.cycle_time d.Examples.d_net,
+   Area.total d.Examples.d_net)
+
+let () =
+  Fmt.pr "== Variable-latency ALU (Fig. 6) ==@.";
+  Fmt.pr
+    "F_approx computes in one cycle; when the nibble carry makes it \
+     wrong,@.the exact result needs a second cycle.@.@.";
+  let n = 300 in
+  Fmt.pr
+    "  %-6s | %-28s | %-28s@." "err%" "stalling (6a)" "speculative (6b)";
+  Fmt.pr "  %-6s | %-9s %-8s %-9s | %-9s %-8s %-9s@." "" "tput" "cycle"
+    "effective" "tput" "cycle" "effective";
+  List.iter
+    (fun pct ->
+       let ops = Alu.operands ~error_rate_pct:pct ~seed:42 n in
+       let ts, cs, _ = measure (Examples.vl_stalling ~ops) (2 * n) in
+       let tp, cp, _ = measure (Examples.vl_speculative ~ops) (2 * n) in
+       Fmt.pr "  %-6d | %-9.3f %-8.2f %-9.2f | %-9.3f %-8.2f %-9.2f@." pct
+         ts cs (cs /. ts) tp cp (cp /. tp))
+    [ 0; 1; 5; 10; 20; 40 ];
+  let ops = Alu.operands ~error_rate_pct:5 ~seed:42 n in
+  let _, cs, as_ = measure (Examples.vl_stalling ~ops) 10 in
+  let _, cp, ap = measure (Examples.vl_speculative ~ops) 10 in
+  Fmt.pr "@.cycle-time improvement: %.1f%% (paper: ~9%%)@."
+    (100.0 *. (1.0 -. (cp /. cs)));
+  Fmt.pr "area overhead:          %.1f%% (paper: ~12%%)@."
+    (100.0 *. ((ap -. as_) /. as_));
+  (* Functional check: both designs produce G(exact op) for every op. *)
+  let check (d : Examples.design) =
+    let eng = Elastic_sim.Engine.create d.Examples.d_net in
+    Elastic_sim.Engine.run eng (n + 40);
+    let got =
+      Elastic_kernel.Transfer.values
+        (Elastic_sim.Engine.sink_stream eng d.Examples.d_sink)
+    in
+    assert (List.equal Elastic_kernel.Value.equal got (Examples.vl_reference ops))
+  in
+  check (Examples.vl_stalling ~ops);
+  check (Examples.vl_speculative ~ops);
+  Fmt.pr "functional check: both designs compute exact results for all \
+          %d operations@." n

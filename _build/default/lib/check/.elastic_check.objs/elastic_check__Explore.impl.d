@@ -1,0 +1,1 @@
+lib/check/explore.ml: Array Elastic_kernel Elastic_netlist Elastic_sched Elastic_sim Engine Fmt Hashtbl Instance List Netlist Option Queue Scheduler Signal String Value

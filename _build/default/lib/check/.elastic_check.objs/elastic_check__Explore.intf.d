@@ -1,0 +1,1 @@
+lib/check/explore.mli: Elastic_netlist Format Netlist

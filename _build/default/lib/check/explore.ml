@@ -1,0 +1,307 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+open Elastic_sim
+
+type config = { max_states : int; max_choice_combinations : int }
+
+let default_config = { max_states = 20_000; max_choice_combinations = 64 }
+
+type outcome = {
+  explored : int;
+  transitions : int;
+  complete : bool;
+  protocol_violations : string list;
+  deadlock_states : string list;
+  starving_channels : string list;
+  counterexample : string list;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "@[<v>states %d, transitions %d%s@,protocol violations: %d@,deadlocks: \
+     %d@,starving channels: %d@]"
+    o.explored o.transitions
+    (if o.complete then "" else " (incomplete)")
+    (List.length o.protocol_violations)
+    (List.length o.deadlock_states)
+    (List.length o.starving_channels)
+
+let clean o =
+  o.complete && o.protocol_violations = [] && o.deadlock_states = []
+  && o.starving_channels = []
+
+(* Per-step nondeterministic alternatives of one node. *)
+let node_choices (n : Netlist.node) =
+  match n.Netlist.kind with
+  | Netlist.Source (Netlist.Random_rate _ | Netlist.Nondet _) ->
+    [ Instance.Offer true; Instance.Offer false ]
+  | Netlist.Sink (Netlist.Random_stall _) ->
+    [ Instance.Stall false; Instance.Stall true ]
+  | Netlist.Shared { ways; sched = Scheduler.External; _ } ->
+    List.init ways (fun i -> Instance.Predict i)
+  | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _ | Netlist.Func _
+  | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _ | Netlist.Varlat _ ->
+    []
+
+let cartesian lists =
+  List.fold_right
+    (fun options acc ->
+       List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
+    lists [ [] ]
+
+(* Small growable bitset over channel indices. *)
+module Bits = struct
+  type t = int array
+
+  let create n = Array.make ((n / 62) + 1) 0
+
+  let set t i = t.(i / 62) <- t.(i / 62) lor (1 lsl (i mod 62))
+
+  let mem t i = t.(i / 62) land (1 lsl (i mod 62)) <> 0
+
+  let any t = Array.exists (fun w -> w <> 0) t
+end
+
+type state_info = {
+  id : int;
+  snap : Engine.snap;
+  key : string;
+  mutable parent : (state_info * Signal.t array) option;
+      (** How this state was first reached (for counterexamples). *)
+  mutable in_sigs : Signal.t array list;
+  mutable out_sigs : Signal.t array list;
+  mutable succs : (int * Bits.t * Bits.t) list;
+      (** destination, per-channel progress, per-channel pending. *)
+}
+
+let explore ?(config = default_config) net =
+  let eng = Engine.create ~monitor:false net in
+  let chans = Array.of_list (Netlist.channels net) in
+  let nchan = Array.length chans in
+  (* Shared-module outputs are exempt from forward persistence (§4.2). *)
+  let persistent =
+    Array.map
+      (fun (c : Netlist.channel) ->
+         match (Netlist.node net c.Netlist.src.ep_node).Netlist.kind with
+         | Netlist.Shared _ -> false
+         | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+         | Netlist.Func _ | Netlist.Fork _ | Netlist.Mux _
+         | Netlist.Varlat _ -> true)
+      chans
+  in
+  let nondet = Engine.nondet_nodes eng in
+  let combos =
+    cartesian
+      (List.map
+         (fun (n : Netlist.node) ->
+            List.map (fun c -> (n.Netlist.id, c)) (node_choices n))
+         nondet)
+  in
+  if List.length combos > config.max_choice_combinations then
+    invalid_arg
+      (Fmt.str "Explore: %d choice combinations exceed the cap of %d"
+         (List.length combos) config.max_choice_combinations);
+  let states : (string, state_info) Hashtbl.t = Hashtbl.create 1024 in
+  let rev_states : state_info list ref = ref [] in
+  let violations = ref [] in
+  let transitions = ref 0 in
+  let complete = ref true in
+  let report msg = violations := msg :: !violations in
+  (* Retry persistence between one incoming and one outgoing transition of
+     the same state. *)
+  let check_retry_pair (inc : Signal.t array) (out : Signal.t array) =
+    for i = 0 to nchan - 1 do
+      let si = Signal.resolve inc.(i) and so = Signal.resolve out.(i) in
+      if persistent.(i) && si.Signal.v_plus && si.Signal.s_plus then begin
+        if not so.Signal.v_plus then
+          report
+            (Fmt.str "retry+: token withdrawn on %s"
+               chans.(i).Netlist.ch_name)
+        else if not (Option.equal Value.equal si.Signal.data so.Signal.data)
+        then
+          report
+            (Fmt.str "retry+: data changed during retry on %s"
+               chans.(i).Netlist.ch_name)
+      end;
+      if si.Signal.v_minus && si.Signal.s_minus && not so.Signal.v_minus
+      then
+        report
+          (Fmt.str "retry-: anti-token withdrawn on %s"
+             chans.(i).Netlist.ch_name)
+    done
+  in
+  let check_invariant (sigs : Signal.t array) =
+    Array.iteri
+      (fun i s ->
+         if not (s.Signal.v_plus && s.Signal.v_minus) then begin
+           if s.Signal.v_plus && s.Signal.s_minus then
+             report
+               (Fmt.str "invariant: S- with token in flight on %s"
+                  chans.(i).Netlist.ch_name);
+           if s.Signal.v_minus && s.Signal.s_plus then
+             report
+               (Fmt.str "invariant: S+ with anti-token in flight on %s"
+                  chans.(i).Netlist.ch_name)
+         end)
+      sigs
+  in
+  let register snap key =
+    match Hashtbl.find_opt states key with
+    | Some info -> (info, false)
+    | None ->
+      let info =
+        { id = Hashtbl.length states; snap; key; parent = None;
+          in_sigs = []; out_sigs = []; succs = [] }
+      in
+      Hashtbl.replace states key info;
+      rev_states := info :: !rev_states;
+      (info, true)
+  in
+  let initial_snap = Engine.snapshot eng in
+  let init, _ = register initial_snap (Engine.state_key eng) in
+  let queue = Queue.create () in
+  Queue.push init queue;
+  while not (Queue.is_empty queue) do
+    let src = Queue.pop queue in
+    if Hashtbl.length states <= config.max_states then begin
+      List.iter
+        (fun combo ->
+           let choice_for id =
+             List.assoc_opt id combo
+           in
+           Engine.restore eng src.snap;
+           Engine.step ~choices:choice_for eng;
+           incr transitions;
+           let sigs =
+             Array.map
+               (fun (c : Netlist.channel) -> Engine.signal eng c.Netlist.ch_id)
+               chans
+           in
+           let progress = Bits.create nchan in
+           let pending = Bits.create nchan in
+           Array.iteri
+             (fun i (c : Netlist.channel) ->
+                let ev = Engine.events eng c.Netlist.ch_id in
+                if ev.Signal.token_out || ev.Signal.anti_out then
+                  Bits.set progress i;
+                let s = Signal.resolve sigs.(i) in
+                if s.Signal.v_plus || s.Signal.v_minus then Bits.set pending i)
+             chans;
+           check_invariant sigs;
+           List.iter (fun inc -> check_retry_pair inc sigs) src.in_sigs;
+           src.out_sigs <- sigs :: src.out_sigs;
+           let key = Engine.state_key eng in
+           let dst, fresh = register (Engine.snapshot eng) key in
+           if fresh then dst.parent <- Some (src, sigs);
+           List.iter (fun out -> check_retry_pair sigs out) dst.out_sigs;
+           dst.in_sigs <- sigs :: dst.in_sigs;
+           src.succs <- (dst.id, progress, pending) :: src.succs;
+           if fresh then
+             if Hashtbl.length states <= config.max_states then
+               Queue.push dst queue
+             else complete := false)
+        combos
+    end
+    else complete := false
+  done;
+  let all = Array.of_list (List.rev !rev_states) in
+  let deadlocks =
+    if not !complete then []
+    else
+      Array.to_list all
+      |> List.filter_map (fun s ->
+          let stuck =
+            s.succs <> []
+            && List.for_all
+                 (fun (d, prog, _) -> d = s.id && not (Bits.any prog))
+                 s.succs
+            && List.exists (fun (_, _, pend) -> Bits.any pend) s.succs
+          in
+          if stuck then Some s.key else None)
+  in
+  (* Starvation: channel i is starving if some reachable state has a
+     successor evaluation offering a token/anti-token on i, yet no
+     sequence of choices from that state ever makes progress on i. *)
+  let starving =
+    if not !complete then []
+    else begin
+      let n = Array.length all in
+      List.filteri
+        (fun i _ ->
+           let can_progress = Array.make n false in
+           (* Fixed point of backward reachability to a progress(i) edge. *)
+           let changed = ref true in
+           while !changed do
+             changed := false;
+             Array.iter
+               (fun s ->
+                  if not can_progress.(s.id) then begin
+                    let ok =
+                      List.exists
+                        (fun (d, prog, _) ->
+                           Bits.mem prog i || can_progress.(d))
+                        s.succs
+                    in
+                    if ok then begin
+                      can_progress.(s.id) <- true;
+                      changed := true
+                    end
+                  end)
+               all
+           done;
+           Array.exists
+             (fun s ->
+                (not can_progress.(s.id))
+                && List.exists (fun (_, _, pend) -> Bits.mem pend i) s.succs)
+             all)
+        (Array.to_list chans)
+      |> List.map (fun (c : Netlist.channel) -> c.Netlist.ch_name)
+    end
+  in
+  (* Render the path to the first problematic state, Table-1 style. *)
+  let render_trace (target : state_info) =
+    let rec collect acc s =
+      match s.parent with
+      | None -> acc
+      | Some (p, sigs) -> collect (sigs :: acc) p
+    in
+    let steps = collect [] target in
+    if steps = [] then []
+    else
+      let cell (sig_ : Signal.t) =
+        let s = Signal.resolve sig_ in
+        if s.Signal.v_plus && s.Signal.v_minus then "X"
+        else if s.Signal.v_plus then if s.Signal.s_plus then "R" else "T"
+        else if s.Signal.v_minus then "-"
+        else "."
+      in
+      List.mapi
+        (fun i (c : Netlist.channel) ->
+           Fmt.str "%-28s %s" c.Netlist.ch_name
+             (String.concat " "
+                (List.map (fun sigs -> cell sigs.(i)) steps)))
+        (Array.to_list chans)
+  in
+  let counterexample =
+    match deadlocks with
+    | _ :: _ ->
+      (* First deadlock state. *)
+      (match
+         Array.find_opt
+           (fun s -> List.mem s.key deadlocks)
+           (Array.of_list (List.rev !rev_states))
+       with
+       | Some s ->
+         "path to the deadlock (T=transfer R=retry -=anti X=cancel .=idle):"
+         :: render_trace s
+       | None -> [])
+    | [] -> []
+  in
+  { explored = Hashtbl.length states;
+    transitions = !transitions;
+    complete = !complete;
+    protocol_violations = List.rev !violations;
+    deadlock_states = deadlocks;
+    starving_channels = starving;
+    counterexample }

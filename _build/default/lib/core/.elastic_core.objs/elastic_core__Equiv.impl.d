@@ -1,0 +1,1 @@
+lib/core/equiv.ml: Elastic_kernel Elastic_netlist Elastic_sim Engine Fmt List Netlist Protocol String Transfer

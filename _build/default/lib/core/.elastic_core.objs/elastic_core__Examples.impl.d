@@ -1,0 +1,1 @@
+lib/core/examples.ml: Alu Elastic_datapath Elastic_kernel Elastic_netlist Elastic_sched Func Int64 Library List Netlist Scheduler Secded Value

@@ -1,0 +1,1 @@
+lib/core/examples.mli: Alu Elastic_datapath Elastic_kernel Elastic_netlist Netlist Value

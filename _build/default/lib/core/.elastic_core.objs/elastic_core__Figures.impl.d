@@ -1,0 +1,1 @@
+lib/core/figures.ml: Array Elastic_kernel Elastic_netlist Elastic_sched Elastic_sim Fmt Func Library List Netlist Scheduler Signal Speculation Transform Value

@@ -1,0 +1,1 @@
+lib/core/figures.mli: Elastic_netlist Elastic_sched Format Netlist Scheduler

@@ -1,0 +1,1 @@
+lib/core/speculation.ml: Elastic_netlist Float Fmt Func Hashtbl List Netlist Transform

@@ -1,0 +1,1 @@
+lib/core/speculation.mli: Elastic_netlist Elastic_sched Format Netlist Scheduler

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Elastic_netlist Fmt Func List Netlist String

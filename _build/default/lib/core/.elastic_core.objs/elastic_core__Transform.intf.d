@@ -1,0 +1,1 @@
+lib/core/transform.mli: Elastic_kernel Elastic_netlist Elastic_sched Netlist Scheduler Value

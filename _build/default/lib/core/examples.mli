@@ -1,0 +1,81 @@
+open Elastic_kernel
+open Elastic_netlist
+open Elastic_datapath
+
+(** The paper's two worked designs (§5), each in a non-speculative and a
+    speculative version built from the library's primitives.
+
+    Both speculative versions share the same replay template: the fast
+    (speculative) result enters channel 0 of a shared module, the slow
+    (authoritative) result enters channel 1 through an empty EB, and the
+    error detector drives both the early-evaluation multiplexor's select
+    and the shared module's scheduler hint.  A correct speculation costs
+    nothing; a misprediction replays through channel 1, losing exactly one
+    cycle. *)
+
+type design = {
+  d_net : Netlist.t;
+  d_sink : Netlist.node_id;
+  d_name : string;
+}
+
+(** {1 §5.1 — Variable-latency ALU (Fig. 6)} *)
+
+(** Fig. 6(a): the stalling unit — approximate and exact ALU with the
+    error detector wired into the stage controller. *)
+val vl_stalling : ops:(Alu.op * int * int) list -> design
+
+(** Fig. 6(b): speculation with replay; the critical path no longer runs
+    through the error detector and the elastic controller. *)
+val vl_speculative : ops:(Alu.op * int * int) list -> design
+
+(** Like {!vl_speculative} but choosing the recovery-buffer
+    implementation: with plain [Eb] buffers the anti-tokens of correct
+    predictions crawl back one cycle per buffer and throughput drops below
+    1 — the bottleneck §4.1 describes and the Fig. 5 EB (§4.3) removes. *)
+val vl_speculative_with :
+  recovery:Netlist.buffer_kind -> ops:(Alu.op * int * int) list -> design
+
+(** Golden results: [G (exact op)] for each operation. *)
+val vl_reference : (Alu.op * int * int) list -> Value.t list
+
+(** {1 §5.2 — Resilient (SECDED-protected) adder (Fig. 7)} *)
+
+type rs_op = {
+  a : int64;
+  b : int64;
+  flip_a : int option;  (** Codeword bit of [a] flipped in flight. *)
+  flip_b : int option;
+}
+
+(** Workload with single-bit upsets at approximately the given rate. *)
+val rs_ops : error_rate_pct:int -> seed:int -> int -> rs_op list
+
+(** Fig. 7(a): SECDED correction as an extra pipeline stage before the
+    adder — one cycle deeper, error-rate independent. *)
+val rs_nonspeculative : ops:rs_op list -> design
+
+(** Fig. 7(b): the adder starts on unchecked operands; on a detected
+    error the addition replays with the corrected values. *)
+val rs_speculative : ops:rs_op list -> design
+
+(** Golden sums (errors corrected). *)
+val rs_reference : rs_op list -> Value.t list
+
+(** {1 §1 motivation — branch speculation on a next-PC loop}
+
+    A small program with two backward branches of different biases runs
+    on an elastic next-PC loop; applying the recipe to the fetch block
+    yields the branch-prediction structure of the paper's introduction.
+    Used by [examples/processor_pipeline.ml] and the A3 bench section. *)
+
+type pc_loop = {
+  pl_net : Netlist.t;
+  pl_mux : Netlist.node_id;  (** The next-PC multiplexor to speculate on. *)
+  pl_sink : Netlist.node_id;  (** The committed instruction stream. *)
+}
+
+val pc_loop : unit -> pc_loop
+
+(** Program counter / iteration step of a committed loop token. *)
+val pc_of : int -> int

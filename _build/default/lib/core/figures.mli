@@ -1,0 +1,77 @@
+open Elastic_sched
+open Elastic_netlist
+
+(** Builders for the paper's running example (Fig. 1) and the Table 1
+    trace.
+
+    The Fig. 1 circuit is a decision loop: an elastic buffer holds the
+    loop token, block [G] computes the next select from it, the
+    multiplexor picks one of two environment inputs and block [F]
+    processes the choice back into the buffer.  Variants (b), (c) and (d)
+    are derived from (a) {e by applying the library's transformations},
+    exactly as §2 narrates. *)
+
+type params = {
+  sel : int array;  (** Select outcome per loop iteration (wraps). *)
+  f_delay : float;  (** Delay of block F (on the critical cycle). *)
+  f_area : float;
+  g_delay : float;  (** Delay of block G (computes the select). *)
+  g_area : float;
+}
+
+val default_params : params
+
+type handles = {
+  net : Netlist.t;
+  mux : Netlist.node_id;
+  eb : Netlist.node_id;  (** The loop buffer. *)
+  sink : Netlist.node_id;  (** Observes the loop stream. *)
+  shared : Netlist.node_id option;  (** Present in variant (d). *)
+}
+
+(** Fig. 1(a): the non-speculative system; critical cycle
+    G -> mux -> F. *)
+val fig1a : ?params:params -> unit -> handles
+
+(** Fig. 1(b): bubble inserted in the critical cycle — better cycle time,
+    throughput drops to 1/2. *)
+val fig1b : ?params:params -> unit -> handles
+
+(** Fig. 1(c): Shannon decomposition + early evaluation — optimal
+    performance, duplicated logic. *)
+val fig1c : ?params:params -> unit -> handles
+
+(** Fig. 1(d): variant (c) with the copies of F shared behind a
+    speculation scheduler (default: a perfect oracle over [params.sel]).
+    Equals [Speculation.speculate] applied to (a). *)
+val fig1d : ?params:params -> ?sched:Scheduler.spec -> unit -> handles
+
+(** {1 Table 1} *)
+
+type table1_handles = {
+  t1_net : Netlist.t;
+  fin0 : Netlist.channel_id;
+  fin1 : Netlist.channel_id;
+  fout0 : Netlist.channel_id;
+  fout1 : Netlist.channel_id;
+  sel_ch : Netlist.channel_id;
+  ebin : Netlist.channel_id;
+  t1_shared : Netlist.node_id;
+  t1_sink : Netlist.node_id;
+}
+
+(** The exact system traced in Table 1: Fig. 1(d) with streams A..G, a
+    toggle scheduler and select outcomes 0,1,1,0,0. *)
+val table1 : unit -> table1_handles
+
+type table1_row = {
+  label : string;
+  cells : string list;  (** One cell per cycle. *)
+}
+
+(** [table1_trace ?cycles h] simulates and renders the rows exactly as the
+    paper prints them: a letter for a valid token, ['-'] for an anti-token
+    in the channel, ['*'] for a bubble. *)
+val table1_trace : ?cycles:int -> table1_handles -> table1_row list
+
+val pp_table1 : Format.formatter -> table1_row list -> unit

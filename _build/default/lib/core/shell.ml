@@ -1,0 +1,484 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+
+type session = {
+  mutable net : Netlist.t option;
+  mutable undo : Netlist.t list;
+  mutable redo : Netlist.t list;
+}
+
+let create () = { net = None; undo = []; redo = [] }
+
+let current s = s.net
+
+let help =
+  {|Commands (the paper's exploration toolkit):
+  load <design>            load a predefined design:
+                           fig1a fig1b fig1c fig1d table1
+                           vl-stalling vl-speculative rs-nonspec rs-spec
+  show                     print nodes and channels
+  candidates               list speculation candidates (critical cycles
+                           through a multiplexor select)
+  bubble <channel>         insert an empty EB on a channel
+  buffer <channel> eb|eb0  insert a buffer of the given kind
+  remove-buffer <node>     splice an empty buffer out
+  convert <node> eb|eb0    change a buffer implementation (Fig. 5)
+  fifo <channel> <depth>   insert a chain of empty EBs
+  retime-fwd <node>        move input-buffer tokens across a block
+  retime-bwd <node>        move an empty output buffer to the inputs
+  shannon <mux>            Shannon decomposition of the block after <mux>
+  early <mux>              switch <mux> to early evaluation
+  share <n1> <n2> [sched]  share two identical blocks (sched: sticky,
+                           toggle, two-bit, round-robin, static0, static1)
+  speculate [mux] [sched]  the full recipe of Section 4 (steps 2-4)
+  save <file> / open <file>  netlist files (.enl); custom blocks must be
+                           registered with Library.register before open
+  throughput [cycles]      simulate and report per-sink throughput
+  stats [cycles]           per-channel utilization and stall ratios
+  trace [cycles]           Table-1-style trace of every channel
+  cycletime                static cycle-time analysis
+  area                     gate-equivalent area
+  bound                    marked-graph throughput bound
+  critical                 critical cycle of the marked graph
+  verify                   exhaustive state exploration (protocol,
+                           deadlock, starvation)
+  dot <file>               export Graphviz
+  verilog <file>           export the elastic controller as Verilog
+  blif <file>              export the control network for SIS/ABC
+  smv <file>               export a NuSMV control model
+  undo / redo              navigate the transformation history
+  help                     this text
+  quit                     leave the shell|}
+
+let designs =
+  [ ("fig1a", fun () -> (Figures.fig1a ()).Figures.net);
+    ("fig1b", fun () -> (Figures.fig1b ()).Figures.net);
+    ("fig1c", fun () -> (Figures.fig1c ()).Figures.net);
+    ("fig1d", fun () -> (Figures.fig1d ()).Figures.net);
+    ("table1", fun () -> (Figures.table1 ()).Figures.t1_net);
+    ("vl-stalling",
+     fun () ->
+       (Examples.vl_stalling
+          ~ops:(Elastic_datapath.Alu.operands ~error_rate_pct:10 ~seed:1 200))
+         .Examples.d_net);
+    ("vl-speculative",
+     fun () ->
+       (Examples.vl_speculative
+          ~ops:(Elastic_datapath.Alu.operands ~error_rate_pct:10 ~seed:1 200))
+         .Examples.d_net);
+    ("rs-nonspec",
+     fun () ->
+       (Examples.rs_nonspeculative
+          ~ops:(Examples.rs_ops ~error_rate_pct:10 ~seed:1 200))
+         .Examples.d_net);
+    ("rs-spec",
+     fun () ->
+       (Examples.rs_speculative
+          ~ops:(Examples.rs_ops ~error_rate_pct:10 ~seed:1 200))
+         .Examples.d_net) ]
+
+let sched_of_string = function
+  | "sticky" -> Some Scheduler.Sticky
+  | "toggle" -> Some Scheduler.Toggle
+  | "two-bit" -> Some Scheduler.Two_bit
+  | "round-robin" -> Some Scheduler.Round_robin
+  | "static0" -> Some (Scheduler.Static 0)
+  | "static1" -> Some (Scheduler.Static 1)
+  | "hinted-replay" -> Some Scheduler.Hinted_replay
+  | _ -> None
+
+(* Resolve a node argument: numeric id or node name. *)
+let node_arg net s =
+  match int_of_string_opt s with
+  | Some id ->
+    (try Ok (Netlist.node net id).Netlist.id
+     with Invalid_argument m -> Error m)
+  | None -> (
+      match Netlist.find_node net s with
+      | Some n -> Ok n.Netlist.id
+      | None -> Error (Fmt.str "no node called %S" s))
+
+let channel_arg net s =
+  match int_of_string_opt s with
+  | Some id ->
+    (try Ok (Netlist.channel net id).Netlist.ch_id
+     with Invalid_argument m -> Error m)
+  | None -> (
+      match
+        List.find_opt
+          (fun (c : Netlist.channel) -> String.equal c.Netlist.ch_name s)
+          (Netlist.channels net)
+      with
+      | Some c -> Ok c.Netlist.ch_id
+      | None -> Error (Fmt.str "no channel called %S" s))
+
+let buffer_kind_arg = function
+  | "eb" -> Ok Netlist.Eb
+  | "eb0" -> Ok Netlist.Eb0
+  | s -> Error (Fmt.str "unknown buffer kind %S (eb or eb0)" s)
+
+let with_net s f =
+  match s.net with
+  | None -> Error "no design loaded (use: load <design>)"
+  | Some net -> f net
+
+(* Apply a transformation: push the old design on the undo stack. *)
+let transform s f =
+  with_net s (fun net ->
+      match f net with
+      | Ok (net', msg) ->
+        s.undo <- net :: s.undo;
+        s.redo <- [];
+        s.net <- Some net';
+        Ok msg
+      | Error m -> Error m)
+
+let catch f = try f () with Invalid_argument m | Failure m -> Error m
+
+let throughput_report net cycles =
+  let eng = Elastic_sim.Engine.create net in
+  Elastic_sim.Engine.run eng cycles;
+  let sinks =
+    List.filter_map
+      (fun (n : Netlist.node) ->
+         match n.Netlist.kind with
+         | Netlist.Sink _ ->
+           Some
+             (Fmt.str "  %s: %.3f tokens/cycle (%d transfers)"
+                n.Netlist.name
+                (Elastic_sim.Engine.throughput eng n.Netlist.id)
+                (Transfer.length
+                   (Elastic_sim.Engine.sink_stream eng n.Netlist.id)))
+         | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _
+         | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
+         | Netlist.Varlat _ -> None)
+      (Netlist.nodes net)
+  in
+  let violations = Elastic_sim.Engine.violations eng in
+  let extra =
+    if violations = [] then []
+    else
+      Fmt.str "  !! %d protocol violations" (List.length violations)
+      :: List.map
+           (fun (ch, v) -> Fmt.str "     %s: %a" ch Protocol.pp_violation v)
+           (List.filteri (fun i _ -> i < 5) violations)
+  in
+  String.concat "\n"
+    ((Fmt.str "simulated %d cycles" cycles :: sinks) @ extra)
+
+let execute s line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] | "#" :: _ -> Ok ""
+  | [ "help" ] -> Ok help
+  | [ "load"; name ] -> (
+      match List.assoc_opt name designs with
+      | Some mk ->
+        catch (fun () ->
+            s.net <- Some (mk ());
+            s.undo <- [];
+            s.redo <- [];
+            Ok (Fmt.str "loaded %s" name))
+      | None ->
+        Error
+          (Fmt.str "unknown design %S (available: %s)" name
+             (String.concat ", " (List.map fst designs))))
+  | [ "show" ] -> with_net s (fun net -> Ok (Fmt.str "%a" Netlist.pp net))
+  | [ "candidates" ] ->
+    with_net s (fun net ->
+        match Speculation.candidates net with
+        | [] -> Ok "no speculation candidates"
+        | cs ->
+          Ok
+            (String.concat "\n"
+               (List.map (Fmt.str "  %a" Speculation.pp_candidate) cs)))
+  | [ "bubble"; ch ] ->
+    transform s (fun net ->
+        match channel_arg net ch with
+        | Error m -> Error m
+        | Ok channel ->
+          catch (fun () ->
+              let net', b = Transform.insert_bubble net ~channel in
+              Ok (net', Fmt.str "inserted bubble node %d" b)))
+  | [ "buffer"; ch; kind ] ->
+    transform s (fun net ->
+        match channel_arg net ch, buffer_kind_arg kind with
+        | Error m, _ | _, Error m -> Error m
+        | Ok channel, Ok buffer ->
+          catch (fun () ->
+              let net', b =
+                Transform.insert_buffer net ~channel ~buffer ~init:[]
+              in
+              Ok (net', Fmt.str "inserted %s node %d" kind b)))
+  | [ "remove-buffer"; node ] ->
+    transform s (fun net ->
+        match node_arg net node with
+        | Error m -> Error m
+        | Ok b ->
+          catch (fun () -> Ok (Transform.remove_buffer net b, "removed")))
+  | [ "convert"; node; kind ] ->
+    transform s (fun net ->
+        match node_arg net node, buffer_kind_arg kind with
+        | Error m, _ | _, Error m -> Error m
+        | Ok b, Ok buffer ->
+          catch (fun () ->
+              Ok (Transform.convert_buffer net b buffer,
+                  Fmt.str "converted node %d to %s" b kind)))
+  | [ "retime-fwd"; node ] ->
+    transform s (fun net ->
+        match node_arg net node with
+        | Error m -> Error m
+        | Ok f ->
+          catch (fun () ->
+              let net', b = Transform.retime_forward net ~through:f in
+              Ok (net', Fmt.str "moved tokens to new buffer %d" b)))
+  | [ "retime-bwd"; node ] ->
+    transform s (fun net ->
+        match node_arg net node with
+        | Error m -> Error m
+        | Ok f ->
+          catch (fun () ->
+              let net', bs = Transform.retime_backward net ~through:f in
+              Ok
+                (net',
+                 Fmt.str "moved empty buffer to inputs [%a]"
+                   Fmt.(list ~sep:comma int)
+                   bs)))
+  | [ "fifo"; ch; depth ] ->
+    transform s (fun net ->
+        match channel_arg net ch, int_of_string_opt depth with
+        | Error m, _ -> Error m
+        | _, None -> Error "usage: fifo <channel> <depth>"
+        | Ok channel, Some depth ->
+          catch (fun () ->
+              let net', bs = Transform.insert_fifo net ~channel ~depth in
+              Ok (net', Fmt.str "inserted %d buffers" (List.length bs))))
+  | [ "shannon"; mux ] ->
+    transform s (fun net ->
+        match node_arg net mux with
+        | Error m -> Error m
+        | Ok mux ->
+          catch (fun () ->
+              let net', copies = Transform.shannon net ~mux in
+              Ok
+                (net',
+                 Fmt.str "duplicated the block into nodes [%a]"
+                   Fmt.(list ~sep:comma int)
+                   copies)))
+  | [ "early"; mux ] ->
+    transform s (fun net ->
+        match node_arg net mux with
+        | Error m -> Error m
+        | Ok mux ->
+          catch (fun () ->
+              Ok (Transform.early_evaluation net ~mux, "early evaluation on")))
+  | "share" :: n1 :: n2 :: rest ->
+    transform s (fun net ->
+        let sched =
+          match rest with
+          | [] -> Ok Scheduler.Sticky
+          | [ sc ] -> (
+              match sched_of_string sc with
+              | Some sp -> Ok sp
+              | None -> Error (Fmt.str "unknown scheduler %S" sc))
+          | _ -> Error "usage: share <n1> <n2> [sched]"
+        in
+        match node_arg net n1, node_arg net n2, sched with
+        | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
+        | Ok a, Ok b, Ok sched ->
+          catch (fun () ->
+              let net', sh = Transform.share net ~blocks:[ a; b ] ~sched in
+              Ok (net', Fmt.str "shared into node %d" sh)))
+  | "speculate" :: rest ->
+    transform s (fun net ->
+        let mux, sched =
+          match rest with
+          | [] -> (None, Scheduler.Sticky)
+          | [ m ] -> (
+              match sched_of_string m with
+              | Some sp -> (None, sp)
+              | None -> (Some m, Scheduler.Sticky))
+          | [ m; sc ] ->
+            (Some m,
+             Option.value (sched_of_string sc) ~default:Scheduler.Sticky)
+          | _ -> (None, Scheduler.Sticky)
+        in
+        catch (fun () ->
+            let r =
+              match mux with
+              | None -> Speculation.speculate_auto net ~sched
+              | Some m -> (
+                  match node_arg net m with
+                  | Ok mux -> Speculation.speculate net ~mux ~sched
+                  | Error msg -> invalid_arg msg)
+            in
+            Ok
+              (r.Speculation.net,
+               Fmt.str "speculation applied: shared module %d, mux %d"
+                 r.Speculation.shared r.Speculation.mux)))
+  | "stats" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [ n ] -> Option.value (int_of_string_opt n) ~default:200
+          | _ -> 200
+        in
+        catch (fun () ->
+            let eng = Elastic_sim.Engine.create net in
+            Elastic_sim.Engine.run eng cycles;
+            Ok (Fmt.str "%a" Elastic_sim.Stats.pp
+                  (Elastic_sim.Stats.collect eng))))
+  | "trace" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [ n ] -> Option.value (int_of_string_opt n) ~default:8
+          | _ -> 8
+        in
+        catch (fun () ->
+            let eng = Elastic_sim.Engine.create net in
+            let cell (sg : Signal.t) =
+              if sg.Signal.v_minus then "  -"
+              else if sg.Signal.v_plus then
+                (match sg.Signal.data with
+                 | Some v ->
+                   let t = Value.to_string v in
+                   if String.length t > 3 then
+                     " " ^ String.sub t 0 2
+                   else Fmt.str "%3s" t
+                 | None -> "  ?")
+              else "  *"
+            in
+            let rows =
+              List.map
+                (fun (c : Netlist.channel) -> (c.Netlist.ch_name, ref []))
+                (Netlist.channels net)
+            in
+            for _ = 1 to cycles do
+              Elastic_sim.Engine.step eng;
+              List.iter2
+                (fun (c : Netlist.channel) (_, cells) ->
+                   cells :=
+                     cell (Elastic_sim.Engine.signal eng c.Netlist.ch_id)
+                     :: !cells)
+                (Netlist.channels net) rows
+            done;
+            Ok
+              (String.concat "\n"
+                 (List.map
+                    (fun (name, cells) ->
+                       Fmt.str "%-30s%s" name
+                         (String.concat "" (List.rev !cells)))
+                    rows))))
+  | "throughput" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [ n ] -> Option.value (int_of_string_opt n) ~default:200
+          | _ -> 200
+        in
+        catch (fun () -> Ok (throughput_report net cycles)))
+  | [ "cycletime" ] ->
+    with_net s (fun net ->
+        match Timing.analyze net with
+        | Ok r -> Ok (Fmt.str "%a" Timing.pp_report r)
+        | Error m -> Error m)
+  | [ "area" ] ->
+    with_net s (fun net ->
+        Ok (Fmt.str "total area: %.1f gate equivalents" (Area.total net)))
+  | [ "bound" ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            Ok
+              (Fmt.str "marked-graph throughput bound: %.3f"
+                 (Elastic_perf.Marked_graph.throughput_bound net))))
+  | [ "critical" ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            match Elastic_perf.Marked_graph.critical_cycle net with
+            | Some c ->
+              Ok (Fmt.str "%a" Elastic_perf.Marked_graph.pp_cycle c)
+            | None -> Ok "no token-bearing cycle (feed-forward design)"))
+  | [ "verify" ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            let o = Elastic_check.Explore.explore net in
+            let verdict =
+              if Elastic_check.Explore.clean o then "VERIFIED"
+              else if
+                o.Elastic_check.Explore.protocol_violations = []
+                && o.Elastic_check.Explore.deadlock_states = []
+                && o.Elastic_check.Explore.starving_channels = []
+              then
+                "BOUNDED: state cap reached with no violations (the design \
+                 has unbounded sources; use Nondet sources for an \
+                 exhaustive check)"
+              else "PROBLEMS FOUND"
+            in
+            Ok
+              (Fmt.str "%a@.%s" Elastic_check.Explore.pp_outcome o verdict)))
+  | [ "save"; file ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            Serial.save file net;
+            Ok (Fmt.str "wrote %s" file)))
+  | [ "open"; file ] -> (
+      match Serial.load file with
+      | Ok net ->
+        s.net <- Some net;
+        s.undo <- [];
+        s.redo <- [];
+        Ok (Fmt.str "opened %s" file)
+      | Error m -> Error m)
+  | [ "dot"; file ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            Dot.save file net;
+            Ok (Fmt.str "wrote %s" file)))
+  | [ "verilog"; file ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            Verilog.save file ~top:"elastic_top" net;
+            Ok (Fmt.str "wrote %s" file)))
+  | [ "blif"; file ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            Blif.save file ~model:"elastic_ctrl" net;
+            Ok (Fmt.str "wrote %s" file)))
+  | [ "smv"; file ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            Smv.save file net;
+            Ok (Fmt.str "wrote %s" file)))
+  | [ "undo" ] -> (
+      match s.undo, s.net with
+      | prev :: rest, Some cur ->
+        s.undo <- rest;
+        s.redo <- cur :: s.redo;
+        s.net <- Some prev;
+        Ok "undone"
+      | _, _ -> Error "nothing to undo")
+  | [ "redo" ] -> (
+      match s.redo, s.net with
+      | next :: rest, Some cur ->
+        s.redo <- rest;
+        s.undo <- cur :: s.undo;
+        s.net <- Some next;
+        Ok "redone"
+      | _, _ -> Error "nothing to redo")
+  | [ "quit" ] | [ "exit" ] -> Ok "bye"
+  | w :: _ -> Error (Fmt.str "unknown command %S (try: help)" w)
+
+let run_script s lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match execute s line with
+        | Ok out -> go (if out = "" then acc else out :: acc) rest
+        | Error m -> Error (Fmt.str "at %S: %s" line m))
+  in
+  go [] lines

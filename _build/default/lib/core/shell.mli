@@ -1,0 +1,27 @@
+open Elastic_netlist
+
+(** Command interpreter of the design-exploration shell (§5).
+
+    The paper's toolkit lets the user apply correct-by-construction
+    transformations "under the user guidance in the form of command
+    scripts within an interactive shell", visualize the graph, undo and
+    redo, export Verilog/SMV models and report throughput and cycle time.
+    This module is that interpreter; [bin/elastic_shell] wraps it in a
+    REPL.  Type [help] for the command list. *)
+
+type session
+
+val create : unit -> session
+
+(** [execute s line] parses and runs one command.  [Ok output] is the text
+    to display; [Error message] reports a parse or application failure
+    (the design state is unchanged on error). *)
+val execute : session -> string -> (string, string) result
+
+(** Run a whole script, stopping at the first error. *)
+val run_script : session -> string list -> (string list, string) result
+
+(** The current design (for tests and embedding). *)
+val current : session -> Netlist.t option
+
+val help : string

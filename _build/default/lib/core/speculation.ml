@@ -1,0 +1,105 @@
+open Elastic_netlist
+
+type candidate = {
+  mux : Netlist.node_id;
+  block : Netlist.node_id;
+  cycle_nodes : string list;
+  cycle_delay : float;
+}
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "mux %d via block %d, cycle delay %.1f: [%a]" c.mux c.block
+    c.cycle_delay
+    Fmt.(list ~sep:(any " -> ") string)
+    c.cycle_nodes
+
+(* Depth-first search for a path from [start] back to port [Sel] of
+   [mux], accumulating node delays.  Elastic buffers are traversed (they
+   are part of the cycle, contributing latency not delay). *)
+let find_sel_path net ~mux ~start =
+  let visited = Hashtbl.create 16 in
+  let node_delay (n : Netlist.node) =
+    match n.Netlist.kind with
+    | Netlist.Func f -> f.Func.delay
+    | Netlist.Shared { f; _ } -> f.Func.delay
+    | Netlist.Mux _ -> 1.0
+    | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+    | Netlist.Fork _ | Netlist.Varlat _ -> 0.0
+  in
+  let rec go node acc_delay acc_path =
+    if Hashtbl.mem visited node then None
+    else begin
+      Hashtbl.add visited node ();
+      let outs = Netlist.outgoing net node in
+      let hit =
+        List.find_opt
+          (fun (c : Netlist.channel) ->
+             c.Netlist.dst.Netlist.ep_node = mux
+             && Netlist.port_equal c.Netlist.dst.Netlist.ep_port Netlist.Sel)
+          outs
+      in
+      match hit with
+      | Some _ ->
+        Some (acc_delay, List.rev ((Netlist.node net node).Netlist.name :: acc_path))
+      | None ->
+        List.fold_left
+          (fun found (c : Netlist.channel) ->
+             match found with
+             | Some _ -> found
+             | None ->
+               let next = c.Netlist.dst.Netlist.ep_node in
+               let d = node_delay (Netlist.node net next) in
+               go next (acc_delay +. d)
+                 ((Netlist.node net node).Netlist.name :: acc_path))
+          None outs
+    end
+  in
+  go start 0.0 []
+
+let candidates net =
+  List.filter_map
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Mux _ ->
+         let mux = n.Netlist.id in
+         (match Netlist.channel_at net mux (Netlist.Out 0) with
+          | None -> None
+          | Some out_ch ->
+            let block = out_ch.Netlist.dst.Netlist.ep_node in
+            (match (Netlist.node net block).Netlist.kind with
+             | Netlist.Func f when f.Func.arity = 1 ->
+               (match find_sel_path net ~mux ~start:block with
+                | Some (delay, path) ->
+                  Some
+                    { mux; block; cycle_nodes = path;
+                      cycle_delay = delay +. f.Func.delay }
+                | None -> None)
+             | Netlist.Func _ | Netlist.Source _ | Netlist.Sink _
+             | Netlist.Buffer _ | Netlist.Fork _ | Netlist.Mux _
+             | Netlist.Shared _ | Netlist.Varlat _ -> None))
+       | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+       | Netlist.Func _ | Netlist.Fork _ | Netlist.Shared _
+       | Netlist.Varlat _ -> None)
+    (Netlist.nodes net)
+
+type result = {
+  net : Netlist.t;
+  shared : Netlist.node_id;
+  mux : Netlist.node_id;
+}
+
+let speculate net ~mux ~sched =
+  let net, copies = Transform.shannon net ~mux in
+  let net = Transform.early_evaluation net ~mux in
+  let net, shared = Transform.share net ~blocks:copies ~sched in
+  Netlist.validate_exn net;
+  { net; shared; mux }
+
+let speculate_auto net ~sched =
+  match
+    List.sort
+      (fun a b -> Float.compare b.cycle_delay a.cycle_delay)
+      (candidates net)
+  with
+  | [] -> invalid_arg "Speculation.speculate_auto: no candidate found"
+  | c :: _ -> speculate net ~mux:c.mux ~sched

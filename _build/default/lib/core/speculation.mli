@@ -1,0 +1,49 @@
+open Elastic_sched
+open Elastic_netlist
+
+(** The complete speculation recipe of §4:
+
+    + find a critical cycle from the output of a multiplexor to its select
+      input ({!candidates});
+    + Shannon-decompose the block out of the cycle;
+    + make the multiplexor early-evaluating;
+    + share the duplicated blocks behind a speculation scheduler.
+
+    Steps 2-4 are {!speculate}; equivalence of the result follows from the
+    individual transformations being correct by construction (and can be
+    re-checked by co-simulation with {!Equiv.check}). *)
+
+type candidate = {
+  mux : Netlist.node_id;
+  block : Netlist.node_id;
+      (** The unary block at the mux output, to be moved and shared. *)
+  cycle_nodes : string list;
+      (** Nodes on the mux-output -> select-input cycle. *)
+  cycle_delay : float;
+      (** Combinational delay accumulated around that cycle — the profit
+          ceiling of the transformation. *)
+}
+
+val pp_candidate : Format.formatter -> candidate -> unit
+
+(** Multiplexors whose select input closes a cycle through their own
+    output via a movable unary block — the situations where §4 declares
+    speculation "the transformation of choice". *)
+val candidates : Netlist.t -> candidate list
+
+(** The outcome of applying the recipe. *)
+type result = {
+  net : Netlist.t;
+  shared : Netlist.node_id;  (** The new shared module. *)
+  mux : Netlist.node_id;  (** The (now early-evaluating) multiplexor. *)
+}
+
+(** [speculate net ~mux ~sched] applies steps 2-4 to the given
+    multiplexor.  @raise Invalid_argument if the block after the mux is
+    not a movable unary function. *)
+val speculate :
+  Netlist.t -> mux:Netlist.node_id -> sched:Scheduler.spec -> result
+
+(** [speculate_auto net ~sched] picks the candidate with the largest cycle
+    delay.  @raise Invalid_argument when there is no candidate. *)
+val speculate_auto : Netlist.t -> sched:Scheduler.spec -> result

@@ -1,0 +1,236 @@
+open Elastic_netlist
+
+let insert_buffer net ~channel ~buffer ~init =
+  let c = Netlist.channel net channel in
+  let net, b =
+    Netlist.add_node net (Netlist.Buffer { buffer; init })
+  in
+  let old_dst = c.Netlist.dst in
+  let net = Netlist.set_dst net channel (b, Netlist.In 0) in
+  let net, _ =
+    Netlist.connect ~width:c.Netlist.width net (b, Netlist.Out 0)
+      (old_dst.Netlist.ep_node, old_dst.Netlist.ep_port)
+  in
+  (net, b)
+
+let insert_bubble net ~channel =
+  insert_buffer net ~channel ~buffer:Netlist.Eb ~init:[]
+
+let insert_fifo net ~channel ~depth =
+  if depth < 1 then invalid_arg "Transform.insert_fifo: depth < 1";
+  (* Each inserted buffer's fresh output channel carries the rest of the
+     chain, so we keep splitting the channel we just created. *)
+  let rec go net channel acc k =
+    if k = 0 then (net, List.rev acc)
+    else begin
+      let net, b = insert_bubble net ~channel in
+      let next =
+        match Netlist.channel_at net b (Netlist.Out 0) with
+        | Some c -> c.Netlist.ch_id
+        | None -> assert false
+      in
+      go net next (b :: acc) (k - 1)
+    end
+  in
+  go net channel [] depth
+
+let buffer_kind_and_init net b =
+  match (Netlist.node net b).Netlist.kind with
+  | Netlist.Buffer { buffer; init } -> (buffer, init)
+  | Netlist.Source _ | Netlist.Sink _ | Netlist.Func _ | Netlist.Fork _
+  | Netlist.Mux _ | Netlist.Shared _ | Netlist.Varlat _ ->
+    invalid_arg
+      (Fmt.str "Transform: node %s is not a buffer"
+         (Netlist.node net b).Netlist.name)
+
+let single_channel net node port =
+  match Netlist.channel_at net node port with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Fmt.str "Transform: node %s has no channel at %a"
+         (Netlist.node net node).Netlist.name Netlist.pp_port port)
+
+let remove_buffer net b =
+  let _, init = buffer_kind_and_init net b in
+  if init <> [] then
+    invalid_arg
+      (Fmt.str "Transform.remove_buffer: %s holds %d token(s)"
+         (Netlist.node net b).Netlist.name (List.length init));
+  let in_ch = single_channel net b (Netlist.In 0) in
+  let out_ch = single_channel net b (Netlist.Out 0) in
+  let dst = out_ch.Netlist.dst in
+  let net = Netlist.remove_channel net out_ch.Netlist.ch_id in
+  let net =
+    Netlist.set_dst net in_ch.Netlist.ch_id
+      (dst.Netlist.ep_node, dst.Netlist.ep_port)
+  in
+  Netlist.remove_node net b
+
+let convert_buffer net b buffer =
+  let _, init = buffer_kind_and_init net b in
+  let capacity = match buffer with Netlist.Eb -> 2 | Netlist.Eb0 -> 1 in
+  if List.length init > capacity then
+    invalid_arg
+      (Fmt.str
+         "Transform.convert_buffer: %d token(s) exceed capacity %d of %s"
+         (List.length init) capacity
+         (Netlist.buffer_kind_name buffer));
+  Netlist.replace_kind net b (Netlist.Buffer { buffer; init })
+
+let func_of net id =
+  match (Netlist.node net id).Netlist.kind with
+  | Netlist.Func f -> f
+  | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _ | Netlist.Fork _
+  | Netlist.Mux _ | Netlist.Shared _ | Netlist.Varlat _ ->
+    invalid_arg
+      (Fmt.str "Transform: node %s is not a function block"
+         (Netlist.node net id).Netlist.name)
+
+let retime_forward net ~through =
+  let f = func_of net through in
+  (* Every input must come from a buffer holding at least one token. *)
+  let input_buffers =
+    List.init f.Func.arity (fun i ->
+        let c = single_channel net through (Netlist.In i) in
+        let src = c.Netlist.src.Netlist.ep_node in
+        let buffer, init = buffer_kind_and_init net src in
+        (src, buffer, init))
+  in
+  let heads =
+    List.map
+      (fun (src, _, init) ->
+         match init with
+         | v :: _ -> v
+         | [] ->
+           invalid_arg
+             (Fmt.str "Transform.retime_forward: buffer %s is empty"
+                (Netlist.node net src).Netlist.name))
+      input_buffers
+  in
+  let moved = Func.apply f heads in
+  let net =
+    List.fold_left
+      (fun net (src, buffer, init) ->
+         Netlist.replace_kind net src
+           (Netlist.Buffer { buffer; init = List.tl init }))
+      net input_buffers
+  in
+  let out_ch = single_channel net through (Netlist.Out 0) in
+  insert_buffer net ~channel:out_ch.Netlist.ch_id ~buffer:Netlist.Eb
+    ~init:[ moved ]
+
+let retime_backward net ~through =
+  let f = func_of net through in
+  let out_ch = single_channel net through (Netlist.Out 0) in
+  let b = out_ch.Netlist.dst.Netlist.ep_node in
+  let buffer, init = buffer_kind_and_init net b in
+  if init <> [] then
+    invalid_arg "Transform.retime_backward: output buffer must be empty";
+  let net = remove_buffer net b in
+  let net, ids =
+    List.fold_left
+      (fun (net, acc) i ->
+         let c = single_channel net through (Netlist.In i) in
+         let net, id =
+           insert_buffer net ~channel:c.Netlist.ch_id ~buffer ~init:[]
+         in
+         (net, id :: acc))
+      (net, [])
+      (List.init f.Func.arity (fun i -> i))
+  in
+  (net, List.rev ids)
+
+let mux_ways net mux =
+  match (Netlist.node net mux).Netlist.kind with
+  | Netlist.Mux { ways; early } -> (ways, early)
+  | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _ | Netlist.Func _
+  | Netlist.Fork _ | Netlist.Shared _ | Netlist.Varlat _ ->
+    invalid_arg
+      (Fmt.str "Transform: node %s is not a multiplexor"
+         (Netlist.node net mux).Netlist.name)
+
+let shannon net ~mux =
+  let ways, _ = mux_ways net mux in
+  let out_ch = single_channel net mux (Netlist.Out 0) in
+  let block = out_ch.Netlist.dst.Netlist.ep_node in
+  let f = func_of net block in
+  if f.Func.arity <> 1 then
+    invalid_arg
+      (Fmt.str
+         "Transform.shannon: block %s after the mux must be unary (arity %d)"
+         (Netlist.node net block).Netlist.name f.Func.arity);
+  let block_out = single_channel net block (Netlist.Out 0) in
+  (* Splice the block out of the multiplexor's output... *)
+  let net = Netlist.remove_channel net out_ch.Netlist.ch_id in
+  let net =
+    Netlist.set_src net block_out.Netlist.ch_id (mux, Netlist.Out 0)
+  in
+  let net = Netlist.remove_node net block in
+  (* ...and duplicate it onto every data input. *)
+  let base = (Netlist.node net mux).Netlist.name in
+  let net, copies =
+    List.fold_left
+      (fun (net, acc) i ->
+         let d = single_channel net mux (Netlist.In i) in
+         let net, fi =
+           Netlist.add_node ~name:(Fmt.str "%s_%s%d" base f.Func.name i)
+             net (Netlist.Func f)
+         in
+         let net = Netlist.set_dst net d.Netlist.ch_id (fi, Netlist.In 0) in
+         let net, _ =
+           Netlist.connect ~width:d.Netlist.width net (fi, Netlist.Out 0)
+             (mux, Netlist.In i)
+         in
+         (net, fi :: acc))
+      (net, [])
+      (List.init ways (fun i -> i))
+  in
+  (net, List.rev copies)
+
+let early_evaluation net ~mux =
+  let ways, _ = mux_ways net mux in
+  Netlist.replace_kind net mux (Netlist.Mux { ways; early = true })
+
+let share net ~blocks ~sched =
+  (match blocks with
+   | [] | [ _ ] -> invalid_arg "Transform.share: need at least two blocks"
+   | _ :: _ :: _ -> ());
+  let funcs = List.map (func_of net) blocks in
+  let f =
+    match funcs with
+    | f :: rest ->
+      List.iter
+        (fun f' ->
+           if not (String.equal f.Func.name f'.Func.name)
+              || f.Func.arity <> 1 || f'.Func.arity <> 1 then
+             invalid_arg
+               (Fmt.str
+                  "Transform.share: blocks must be identical unary \
+                   functions (%s vs %s)"
+                  f.Func.name f'.Func.name))
+        rest;
+      f
+    | [] -> assert false
+  in
+  let ways = List.length blocks in
+  let net, sh =
+    Netlist.add_node net
+      (Netlist.Shared { ways; f; sched; hinted = false })
+  in
+  let net =
+    List.fold_left
+      (fun net (i, b) ->
+         let in_ch = single_channel net b (Netlist.In 0) in
+         let out_ch = single_channel net b (Netlist.Out 0) in
+         let net =
+           Netlist.set_dst net in_ch.Netlist.ch_id (sh, Netlist.In i)
+         in
+         let net =
+           Netlist.set_src net out_ch.Netlist.ch_id (sh, Netlist.Out i)
+         in
+         Netlist.remove_node net b)
+      net
+      (List.mapi (fun i b -> (i, b)) blocks)
+  in
+  (net, sh)

@@ -1,0 +1,73 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+
+(** Correct-by-construction transformations on elastic netlists (§3.3,
+    §4).
+
+    Every function returns a new netlist (the input is unchanged), so an
+    exploration shell can keep undo/redo histories.  All raise
+    [Invalid_argument] with a descriptive message when preconditions do
+    not hold; they never produce a netlist that fails validation. *)
+
+(** {1 Buffer transformations} *)
+
+(** [insert_buffer net ~channel ~buffer ~init] splits the channel with a
+    new elastic buffer and returns its node id. *)
+val insert_buffer :
+  Netlist.t -> channel:Netlist.channel_id -> buffer:Netlist.buffer_kind ->
+  init:Value.t list -> Netlist.t * Netlist.node_id
+
+(** Bubble insertion (§2): an empty EB on any channel preserves transfer
+    equivalence. *)
+val insert_bubble :
+  Netlist.t -> channel:Netlist.channel_id -> Netlist.t * Netlist.node_id
+
+(** [insert_fifo net ~channel ~depth] chains [depth] empty EBs on the
+    channel — a FIFO of capacity [2 * depth] (elastic systems are "a
+    collection of blocks and FIFOs", §3); preserves transfer equivalence
+    and adds [depth] cycles of forward latency.
+    @raise Invalid_argument when [depth < 1]. *)
+val insert_fifo :
+  Netlist.t -> channel:Netlist.channel_id -> depth:int ->
+  Netlist.t * Netlist.node_id list
+
+(** [remove_buffer net b] splices an {e empty} buffer out.
+    @raise Invalid_argument if the buffer holds tokens. *)
+val remove_buffer : Netlist.t -> Netlist.node_id -> Netlist.t
+
+(** [convert_buffer net b kind] swaps the buffer implementation, e.g. to
+    the zero-backward-latency EB of §4.3 for fast anti-token return.
+    @raise Invalid_argument if the stored tokens exceed the new capacity. *)
+val convert_buffer :
+  Netlist.t -> Netlist.node_id -> Netlist.buffer_kind -> Netlist.t
+
+(** {1 Retiming} *)
+
+(** [retime_forward net ~through] moves one token from a buffer on every
+    input of the function block [through] to a fresh buffer on its output,
+    recomputing the stored value as [f] of the moved tokens. *)
+val retime_forward :
+  Netlist.t -> through:Netlist.node_id -> Netlist.t * Netlist.node_id
+
+(** [retime_backward net ~through] moves an {e empty} buffer from the
+    output of [through] to fresh empty buffers on every input. *)
+val retime_backward :
+  Netlist.t -> through:Netlist.node_id -> Netlist.t * Netlist.node_id list
+
+(** {1 The speculation pipeline (§4, steps 2-4)} *)
+
+(** Shannon decomposition / multiplexor retiming (§2): the unary function
+    block fed by the multiplexor's output is duplicated onto every data
+    input.  Returns the copies, input order. *)
+val shannon :
+  Netlist.t -> mux:Netlist.node_id -> Netlist.t * Netlist.node_id list
+
+(** Switch a multiplexor to early evaluation (anti-token emitting). *)
+val early_evaluation : Netlist.t -> mux:Netlist.node_id -> Netlist.t
+
+(** [share net ~blocks ~sched] merges identical unary function blocks into
+    one shared module arbitrated by [sched] (Fig. 4). *)
+val share :
+  Netlist.t -> blocks:Netlist.node_id list -> sched:Scheduler.spec ->
+  Netlist.t * Netlist.node_id

@@ -1,0 +1,1 @@
+lib/datapath/alu.ml: Elastic_kernel Elastic_netlist Fmt Func List Value

@@ -1,0 +1,1 @@
+lib/datapath/alu.mli: Elastic_kernel Elastic_netlist Format

@@ -1,0 +1,1 @@
+lib/datapath/secded.ml: Array Elastic_kernel Elastic_netlist Fmt Func Int64 List Value

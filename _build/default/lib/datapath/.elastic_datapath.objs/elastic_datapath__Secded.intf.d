@@ -1,0 +1,1 @@
+lib/datapath/secded.mli: Elastic_netlist Format Func

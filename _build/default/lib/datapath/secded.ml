@@ -1,0 +1,124 @@
+open Elastic_kernel
+open Elastic_netlist
+
+type codeword = { data : int64; check : int }
+
+(* Codeword positions 1..71: powers of two hold check bits c0..c6, the
+   remaining 64 positions hold data bits in increasing order. *)
+let is_power_of_two p = p land (p - 1) = 0
+
+let data_positions =
+  let rec build pos acc =
+    if pos > 71 then List.rev acc
+    else if is_power_of_two pos then build (pos + 1) acc
+    else build (pos + 1) (pos :: acc)
+  in
+  Array.of_list (build 1 [])
+
+let () = assert (Array.length data_positions = 64)
+
+(* position -> data bit index, or -1 for check positions *)
+let data_index_of_position =
+  let t = Array.make 72 (-1) in
+  Array.iteri (fun i p -> t.(p) <- i) data_positions;
+  t
+
+let data_bit w i = Int64.to_int (Int64.logand (Int64.shift_right_logical w i) 1L)
+
+(* Hamming check bit j = parity of the data bits whose position has bit j
+   set. *)
+let hamming_checks data =
+  let c = Array.make 7 0 in
+  Array.iteri
+    (fun i p ->
+       let b = data_bit data i in
+       for j = 0 to 6 do
+         if p land (1 lsl j) <> 0 then c.(j) <- c.(j) lxor b
+       done)
+    data_positions;
+  c
+
+let encode data =
+  let c = hamming_checks data in
+  let hamming = ref 0 in
+  for j = 0 to 6 do
+    hamming := !hamming lor (c.(j) lsl j)
+  done;
+  (* Overall parity covers all 71 positions (data + hamming checks). *)
+  let parity = ref 0 in
+  for i = 0 to 63 do
+    parity := !parity lxor data_bit data i
+  done;
+  for j = 0 to 6 do
+    parity := !parity lxor c.(j)
+  done;
+  { data; check = !hamming lor (!parity lsl 7) }
+
+type verdict = No_error | Corrected of int64 | Double_error
+
+let decode cw =
+  let received_check j = (cw.check lsr j) land 1 in
+  let c = hamming_checks cw.data in
+  (* Syndrome bit j: recomputed check vs received check. *)
+  let syndrome = ref 0 in
+  for j = 0 to 6 do
+    if c.(j) lxor received_check j = 1 then
+      syndrome := !syndrome lor (1 lsl j)
+  done;
+  let parity = ref 0 in
+  for i = 0 to 63 do
+    parity := !parity lxor data_bit cw.data i
+  done;
+  for j = 0 to 7 do
+    parity := !parity lxor received_check j
+  done;
+  match !syndrome, !parity with
+  | 0, 0 -> No_error
+  | 0, _ ->
+    (* Error in the overall parity bit itself: data is intact. *)
+    Corrected cw.data
+  | s, 1 ->
+    if s > 71 then Double_error
+    else begin
+      let di = data_index_of_position.(s) in
+      if di < 0 then Corrected cw.data (* a check bit was hit *)
+      else Corrected (Int64.logxor cw.data (Int64.shift_left 1L di))
+    end
+  | _, _ -> Double_error
+
+let flip_bit cw i =
+  if i < 0 || i > 71 then invalid_arg "Secded.flip_bit: index out of range";
+  if i < 64 then
+    { cw with data = Int64.logxor cw.data (Int64.shift_left 1L i) }
+  else { cw with check = cw.check lxor (1 lsl (i - 64)) }
+
+let equal_codeword a b = Int64.equal a.data b.data && a.check = b.check
+
+let pp_codeword ppf cw = Fmt.pf ppf "{0x%Lx|%02x}" cw.data cw.check
+
+let codeword_value cw = Value.Tuple [ Value.Word cw.data; Value.Int cw.check ]
+
+let codeword_of_value v =
+  match v with
+  | Value.Tuple [ Value.Word data; Value.Int check ] -> { data; check }
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Word _ | Value.Str _
+  | Value.Tuple _ ->
+    invalid_arg (Fmt.str "Secded: not a codeword: %a" Value.pp v)
+
+let encoder_func () =
+  Func.make ~name:"secded_enc" ~arity:1 ~delay:6.0 ~area:260.0 (function
+    | [ v ] -> codeword_value (encode (Value.to_word v))
+    | _ -> assert false)
+
+let corrector_func () =
+  Func.make ~name:"secded_cor" ~arity:1 ~delay:7.0 ~area:320.0 (function
+    | [ v ] ->
+      let cw = codeword_of_value v in
+      let corrected, err =
+        match decode cw with
+        | No_error -> (cw.data, 0)
+        | Corrected d -> (d, 1)
+        | Double_error -> (cw.data, 2)
+      in
+      Value.Tuple [ Value.Word corrected; Value.Int err ]
+    | _ -> assert false)

@@ -1,0 +1,1 @@
+lib/kernel/protocol.ml: Fmt List Option Signal Value

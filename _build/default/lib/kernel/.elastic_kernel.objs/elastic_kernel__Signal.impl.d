@@ -1,0 +1,1 @@
+lib/kernel/signal.ml: Fmt Option Value

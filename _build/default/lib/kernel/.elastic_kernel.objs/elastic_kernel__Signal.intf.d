@@ -1,0 +1,1 @@
+lib/kernel/signal.mli: Format Value

@@ -1,0 +1,1 @@
+lib/kernel/transfer.ml: Fmt List Value

@@ -1,0 +1,1 @@
+lib/kernel/transfer.mli: Format Value

@@ -1,0 +1,1 @@
+lib/kernel/value.ml: Bool Fmt Int Int64 List String

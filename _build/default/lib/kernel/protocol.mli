@@ -1,0 +1,50 @@
+(** Runtime monitors for the SELF protocol properties of §3.1.
+
+    One {!monitor} instance watches one channel, cycle by cycle, and
+    accumulates violations of:
+
+    - {b Retry+}: [G ((V+ /\ S+) => X V+)] — a stalled token is held
+      (persistently, with the same data) until it transfers.
+    - {b Retry-}: [G ((V- /\ S-) => X V-)] — a stalled anti-token is held
+      until it transfers.
+    - {b Invariant}: a token (anti-token) cannot be killed and stopped at
+      the same time — on a cancelling channel both stop bits must be low.
+    - {b Liveness} (watchdog approximation of [G F (T+ \/ T-)]): a channel
+      persistently offering a token or anti-token must transfer within a
+      configurable bound.
+
+    §4.2 notes that the output channels of shared modules are {e not}
+    required to be persistent (the scheduler may change its prediction
+    after a retry), so Retry+ checking is switchable per channel. *)
+
+type violation = {
+  cycle : int;
+  property : string;  (** "retry+", "retry-", "invariant" or "liveness". *)
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type monitor
+
+(** [create ~name ()] makes a monitor for the channel called [name].
+
+    @param check_forward_persistence disable for shared-module outputs
+      (default [true]).
+    @param liveness_bound cycles a pending token/anti-token may stall
+      before the watchdog fires (default [64]). *)
+val create :
+  ?check_forward_persistence:bool ->
+  ?liveness_bound:int ->
+  name:string ->
+  unit ->
+  monitor
+
+(** [step m ~cycle signals] feeds one cycle of (pre-resolution) channel
+    signals. *)
+val step : monitor -> cycle:int -> Signal.t -> unit
+
+(** Violations recorded so far, oldest first. *)
+val violations : monitor -> violation list
+
+val name : monitor -> string

@@ -1,0 +1,70 @@
+(** Per-cycle control state of a SELF channel with token counterflow.
+
+    Following the paper (§3), every elastic channel carries a tuple of
+    control bits [(V+, S+, V-, S-)] plus the data wires:
+
+    - [v_plus] / [s_plus]: the forward handshake (tokens).  [v_plus] is
+      driven by the sender, [s_plus] by the receiver.
+    - [v_minus] / [s_minus]: the backward handshake (anti-tokens).
+      [v_minus] is driven by the receiver, [s_minus] by the sender.
+    - [data]: valid whenever [v_plus] holds.
+
+    {2 Cancellation}
+
+    When a token and an anti-token meet on a channel ([v_plus] and
+    [v_minus] both asserted in the same cycle) they cancel: the sender's
+    token and the receiver's anti-token are both consumed, no data is
+    delivered forward and no kill is delivered backward.  The paper's
+    channel invariant [G not (V- /\ S+) /\ G not (V+ /\ S-)] — a token
+    (anti-token) cannot be killed and stopped at the same time — is
+    realised here by forcing both stop bits low on a cancelling channel.
+    The {!events} function computes the four resulting boundary events. *)
+
+type t = {
+  v_plus : bool;
+  s_plus : bool;
+  v_minus : bool;
+  s_minus : bool;
+  data : Value.t option;  (** [Some _] exactly when [v_plus]. *)
+}
+
+(** A channel on which nothing is happening. *)
+val idle : t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Protocol state of one (V, S) handshake pair: Transfer, Idle or Retry
+    (§3.1). *)
+type handshake_state =
+  | Transfer  (** [V /\ not S]: valid data accepted. *)
+  | Idle  (** [not V]: no valid data offered. *)
+  | Retry  (** [V /\ S]: valid data offered but not accepted. *)
+
+val handshake_state : valid:bool -> stop:bool -> handshake_state
+
+val pp_handshake_state : Format.formatter -> handshake_state -> unit
+
+(** Boundary events resulting from one cycle of channel activity, after
+    applying the cancellation rule. *)
+type events = {
+  token_out : bool;
+      (** The sender's token left (delivered downstream or annihilated). *)
+  token_in : bool;  (** The receiver actually received a token. *)
+  anti_out : bool;
+      (** The receiver's anti-token left (delivered upstream or
+          annihilated). *)
+  anti_in : bool;  (** The sender actually received an anti-token. *)
+  cancelled : bool;  (** A token/anti-token pair annihilated this cycle. *)
+}
+
+(** [resolve s] forces the stop bits low on a cancelling channel (the
+    invariant above) and returns the adjusted signals. *)
+val resolve : t -> t
+
+(** [events s] computes the boundary events of a resolved channel state.
+    [token_in] implies [token_out]; [anti_in] implies [anti_out];
+    [cancelled] implies both [token_out] and [anti_out] but neither
+    [token_in] nor [anti_in]. *)
+val events : t -> events

@@ -1,0 +1,71 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Word of int64
+  | Str of string
+  | Tuple of t list
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Word x, Word y -> Int64.equal x y
+  | Str x, Str y -> String.equal x y
+  | Tuple xs, Tuple ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Unit | Bool _ | Int _ | Word _ | Str _ | Tuple _), _ -> false
+
+let rec compare a b =
+  match a, b with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Word x, Word y -> Int64.compare x y
+  | Str x, Str y -> String.compare x y
+  | Tuple xs, Tuple ys -> List.compare compare xs ys
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Word _, _ -> -1
+  | _, Word _ -> 1
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Word w -> Fmt.pf ppf "0x%Lx" w
+  | Str s -> Fmt.string ppf s
+  | Tuple vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") pp) vs
+
+let to_string v = Fmt.str "%a" pp v
+
+let to_int = function
+  | Int i -> i
+  | Bool b -> if b then 1 else 0
+  | Unit | Word _ | Str _ | Tuple _ as v ->
+    invalid_arg (Fmt.str "Value.to_int: %a" pp v)
+
+let to_word = function
+  | Word w -> w
+  | Int i -> Int64.of_int i
+  | Unit | Bool _ | Str _ | Tuple _ as v ->
+    invalid_arg (Fmt.str "Value.to_word: %a" pp v)
+
+let to_bool = function
+  | Bool b -> b
+  | Int i -> i <> 0
+  | Unit | Word _ | Str _ | Tuple _ as v ->
+    invalid_arg (Fmt.str "Value.to_bool: %a" pp v)
+
+let tuple_nth v i =
+  match v with
+  | Tuple vs when i >= 0 && i < List.length vs -> List.nth vs i
+  | Unit | Bool _ | Int _ | Word _ | Str _ | Tuple _ ->
+    invalid_arg (Fmt.str "Value.tuple_nth %d: %a" i pp v)

@@ -1,0 +1,38 @@
+(** Data values carried by tokens on elastic channels.
+
+    The simulator is untyped at the datapath level: every channel carries a
+    {!t}.  Scalars up to 64 bits use [Word]; multiplexor select signals and
+    small enumerations use [Int]; composite payloads (e.g. a data word plus
+    its SECDED check bits) use [Tuple]. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Word of int64
+  | Str of string
+  | Tuple of t list
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [to_int v] projects an [Int] or [Bool] to an integer.
+    @raise Invalid_argument on other constructors. *)
+val to_int : t -> int
+
+(** [to_word v] projects a [Word] (or widens an [Int]) to an [int64].
+    @raise Invalid_argument on other constructors. *)
+val to_word : t -> int64
+
+(** [to_bool v] projects a [Bool] (or tests an [Int] for non-zero).
+    @raise Invalid_argument on other constructors. *)
+val to_bool : t -> bool
+
+(** [tuple_nth v i] projects the [i]-th component of a [Tuple].
+    @raise Invalid_argument if [v] is not a tuple of sufficient width. *)
+val tuple_nth : t -> int -> t

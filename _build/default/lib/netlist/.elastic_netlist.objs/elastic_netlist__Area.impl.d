@@ -1,0 +1,1 @@
+lib/netlist/area.ml: Float Func List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/area.mli: Netlist

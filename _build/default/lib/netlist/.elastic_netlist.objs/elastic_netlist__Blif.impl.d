@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Fmt Format Func List Netlist String

@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Fmt Format List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/func.ml: Elastic_kernel Fmt List Value

@@ -1,0 +1,1 @@
+lib/netlist/func.mli: Elastic_kernel Format Value

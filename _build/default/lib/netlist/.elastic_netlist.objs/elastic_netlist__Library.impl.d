@@ -1,0 +1,1 @@
+lib/netlist/library.ml: Fmt Func Hashtbl String

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Elastic_kernel Elastic_sched Fmt Func Int List Map Scheduler String Value

@@ -1,0 +1,1 @@
+lib/netlist/netlist.mli: Elastic_kernel Elastic_sched Format Func Scheduler Value

@@ -1,0 +1,1 @@
+lib/netlist/serial.ml: Array Buffer Char Elastic_kernel Elastic_sched Fmt Format Func Hashtbl Int64 Library List Netlist Scheduler String Value

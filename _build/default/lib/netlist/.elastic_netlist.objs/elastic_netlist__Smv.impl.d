@@ -1,0 +1,1 @@
+lib/netlist/smv.ml: Buffer Fmt Format Func List Netlist String

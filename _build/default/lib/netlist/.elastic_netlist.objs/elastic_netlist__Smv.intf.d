@@ -1,0 +1,1 @@
+lib/netlist/smv.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/netlist/timing.ml: Array Float Fmt Func Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Elastic_sched Fmt Format Func List Netlist Option String

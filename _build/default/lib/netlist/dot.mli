@@ -1,0 +1,12 @@
+(** Graphviz export of elastic netlists (the paper's toolkit lets the user
+    "visualize the modified graph"). *)
+
+(** [emit ppf t] writes a [dot] digraph.  Buffers are drawn as boxes
+    annotated with their token count, functional blocks as ellipses,
+    multiplexors as trapezia and shared modules as double octagons. *)
+val emit : Format.formatter -> Netlist.t -> unit
+
+val to_string : Netlist.t -> string
+
+(** [save path t] writes the graph to a file. *)
+val save : string -> Netlist.t -> unit

@@ -1,0 +1,55 @@
+(* Bring the SELF kernel modules (Value, Signal, ...) into scope. *)
+open Elastic_kernel
+
+type t = {
+  name : string;
+  arity : int;
+  eval : Value.t list -> Value.t;
+  delay : float;
+  area : float;
+}
+
+let make ~name ~arity ~delay ~area eval =
+  if arity < 0 then invalid_arg "Func.make: negative arity";
+  if delay < 0.0 || area < 0.0 then
+    invalid_arg "Func.make: negative delay or area";
+  { name; arity; eval; delay; area }
+
+let apply f vs =
+  let n = List.length vs in
+  if n <> f.arity then
+    invalid_arg
+      (Fmt.str "Func.apply %s: expected %d arguments, got %d" f.name f.arity
+         n);
+  f.eval vs
+
+let identity ?(delay = 0.0) ?(area = 0.0) () =
+  make ~name:"id" ~arity:1 ~delay ~area (function
+    | [ v ] -> v
+    | _ -> assert false)
+
+let const ?(delay = 0.0) ?(area = 0.0) v =
+  make ~name:(Fmt.str "const(%a)" Value.pp v) ~arity:1 ~delay ~area
+    (fun _ -> v)
+
+let add_int ?(delay = 4.0) ?(area = 40.0) ~arity () =
+  make ~name:"add" ~arity ~delay ~area (fun vs ->
+      Value.Int (List.fold_left (fun acc v -> acc + Value.to_int v) 0 vs))
+
+let inc ?(delay = 2.0) ?(area = 12.0) ~step () =
+  make ~name:(Fmt.str "inc%+d" step) ~arity:1 ~delay ~area (function
+    | [ v ] -> Value.Int (Value.to_int v + step)
+    | _ -> assert false)
+
+let select ?(delay = 1.0) ?(area = 10.0) ~ways () =
+  make ~name:(Fmt.str "select%d" ways) ~arity:(ways + 1) ~delay ~area
+    (function
+    | sel :: data ->
+      let i = Value.to_int sel in
+      if i < 0 || i >= List.length data then
+        invalid_arg (Fmt.str "select: index %d out of range" i)
+      else List.nth data i
+    | [] -> assert false)
+
+let pp ppf f =
+  Fmt.pf ppf "%s/%d (delay %.1f, area %.1f)" f.name f.arity f.delay f.area

@@ -1,0 +1,162 @@
+type params = {
+  fork_delay : float;
+  join_delay : float;
+  mux_delay : float;
+  early_mux_delay : float;
+  shared_grant_delay : float;
+  eb0_backward_delay : float;
+  register_overhead : float;
+  varlat_control_delay : float;
+  varlat_slow_margin : float;
+}
+
+let default =
+  { fork_delay = 0.3; join_delay = 0.3; mux_delay = 1.0;
+    early_mux_delay = 0.5; shared_grant_delay = 1.5;
+    eb0_backward_delay = 0.8; register_overhead = 1.0;
+    varlat_control_delay = 2.0; varlat_slow_margin = 1.0 }
+
+type report = {
+  cycle_time : float;
+  forward_delay : float;
+  backward_delay : float;
+  forward_path : string list;
+  backward_path : string list;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "cycle time %.2f (forward %.2f via [%a]; backward %.2f via [%a])"
+    r.cycle_time r.forward_delay
+    Fmt.(list ~sep:(any " -> ") string)
+    r.forward_path r.backward_delay
+    Fmt.(list ~sep:(any " -> ") string)
+    r.backward_path
+
+exception Combinational_cycle of string
+
+(* Forward delay contributed by a node between its inputs and outputs;
+   [None] means the node cuts forward combinational paths. *)
+let forward_delay params (n : Netlist.node) =
+  match n.Netlist.kind with
+  | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _ -> None
+  | Netlist.Func f ->
+    Some (f.Func.delay +. params.join_delay)
+  | Netlist.Fork _ -> Some params.fork_delay
+  | Netlist.Mux { early; _ } ->
+    Some
+      (params.mux_delay +. if early then params.early_mux_delay else 0.0)
+  | Netlist.Shared { f; _ } ->
+    Some (f.Func.delay +. params.shared_grant_delay)
+  | Netlist.Varlat _ -> None
+
+(* Backward (stop/kill) delay through a node; [None] cuts the path. *)
+let backward_delay params (n : Netlist.node) =
+  match n.Netlist.kind with
+  | Netlist.Source _ | Netlist.Sink _ -> None
+  | Netlist.Buffer { buffer = Netlist.Eb; _ } -> None
+  | Netlist.Buffer { buffer = Netlist.Eb0; _ } ->
+    Some params.eb0_backward_delay
+  | Netlist.Func _ -> Some params.join_delay
+  | Netlist.Fork _ -> Some params.fork_delay
+  | Netlist.Mux { early; _ } ->
+    Some (if early then params.early_mux_delay else params.join_delay)
+  | Netlist.Shared _ -> Some params.shared_grant_delay
+  | Netlist.Varlat _ -> None
+
+(* Longest path over channels.  [next] lists the continuation channels
+   after traversing the node at one end; [through] gives that node's delay
+   or None when the path is cut there. *)
+let longest_paths t ~through ~next =
+  let memo : (float * string list) option array =
+    Array.make (Netlist.channel_count t + 16) None
+  in
+  let on_stack = Hashtbl.create 16 in
+  let rec go (c : Netlist.channel) =
+    let id = c.Netlist.ch_id in
+    match if id < Array.length memo then memo.(id) else None with
+    | Some r -> r
+    | None ->
+      if Hashtbl.mem on_stack id then
+        raise
+          (Combinational_cycle
+             (Fmt.str "combinational cycle through channel %s"
+                c.Netlist.ch_name));
+      Hashtbl.add on_stack id ();
+      let r =
+        match through c with
+        | None -> (0.0, [ c.Netlist.ch_name ])
+        | Some d ->
+          let conts = next c in
+          let best =
+            List.fold_left
+              (fun acc c' ->
+                 let v, p = go c' in
+                 match acc with
+                 | Some (bv, _) when bv >= v -> acc
+                 | Some _ | None -> Some (v, p))
+              None conts
+          in
+          (match best with
+           | None -> (d, [ c.Netlist.ch_name ])
+           | Some (v, p) -> (d +. v, c.Netlist.ch_name :: p))
+      in
+      Hashtbl.remove on_stack id;
+      if id < Array.length memo then memo.(id) <- Some r;
+      r
+  in
+  List.fold_left
+    (fun acc c ->
+       let v, p = go c in
+       match acc with
+       | Some (bv, _) when bv >= v -> acc
+       | Some _ | None -> Some (v, p))
+    None (Netlist.channels t)
+  |> function
+  | None -> (0.0, [])
+  | Some r -> r
+
+let analyze ?(params = default) t =
+  try
+    let fwd, fwd_path =
+      longest_paths t
+        ~through:(fun c ->
+          forward_delay params (Netlist.node t c.Netlist.dst.ep_node))
+        ~next:(fun c -> Netlist.outgoing t c.Netlist.dst.ep_node)
+    in
+    let bwd, bwd_path =
+      longest_paths t
+        ~through:(fun c ->
+          backward_delay params (Netlist.node t c.Netlist.src.ep_node))
+        ~next:(fun c -> Netlist.incoming t c.Netlist.src.ep_node)
+    in
+    (* A stalling variable-latency unit constrains the clock internally:
+       the fast path chained with the error detector and the controller,
+       and the slow path with its capture margin (Fig. 6(a)). *)
+    let varlat_floor =
+      List.fold_left
+        (fun acc (n : Netlist.node) ->
+           match n.Netlist.kind with
+           | Netlist.Varlat { fast; slow; err } ->
+             Float.max acc
+               (Float.max
+                  (fast.Func.delay +. err.Func.delay
+                   +. params.varlat_control_delay)
+                  (slow.Func.delay +. params.varlat_slow_margin))
+           | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+           | Netlist.Func _ | Netlist.Fork _ | Netlist.Mux _
+           | Netlist.Shared _ -> acc)
+        0.0 (Netlist.nodes t)
+    in
+    Ok
+      { cycle_time =
+          Float.max (Float.max fwd bwd) varlat_floor
+          +. params.register_overhead;
+        forward_delay = fwd; backward_delay = bwd; forward_path = fwd_path;
+        backward_path = List.rev bwd_path }
+  with Combinational_cycle msg -> Error msg
+
+let cycle_time ?params t =
+  match analyze ?params t with
+  | Ok r -> r.cycle_time
+  | Error msg -> invalid_arg ("Timing.cycle_time: " ^ msg)

@@ -1,0 +1,21 @@
+(** Verilog export of the elastic controller and datapath skeleton.
+
+    The paper's toolkit assembles "a set of predefined parameterized
+    control circuit primitives" into a Verilog netlist (§5).  This module
+    does the same: {!prelude} contains the primitive library (EB
+    controllers for both latencies, lazy join, eager fork,
+    early-evaluation multiplexor and shared-module controllers), and
+    {!emit} instantiates and wires them for a given netlist.  Functional
+    blocks are emitted as module instances named after the function, to be
+    bound to user RTL at synthesis time. *)
+
+(** The reusable primitive library (self-contained Verilog). *)
+val prelude : string
+
+(** [emit ppf ~top net] writes the primitive library followed by the top
+    module for [net]. *)
+val emit : Format.formatter -> top:string -> Netlist.t -> unit
+
+val to_string : top:string -> Netlist.t -> string
+
+val save : string -> top:string -> Netlist.t -> unit

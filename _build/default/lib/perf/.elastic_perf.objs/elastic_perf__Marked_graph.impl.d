@@ -1,0 +1,1 @@
+lib/perf/marked_graph.ml: Array Elastic_netlist Fmt Hashtbl List Netlist Timing

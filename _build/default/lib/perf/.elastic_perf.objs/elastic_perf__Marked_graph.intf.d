@@ -1,0 +1,1 @@
+lib/perf/marked_graph.mli: Elastic_netlist Format Netlist Timing

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Bool Fmt List

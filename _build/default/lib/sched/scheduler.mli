@@ -1,0 +1,117 @@
+(** Schedulers for shared elastic modules (§4.1.1).
+
+    A scheduler predicts, at each clock cycle, which input channel of a
+    shared module may use the shared resource — implicitly predicting the
+    select signal of the downstream early-evaluation multiplexor.  The
+    prediction read by {!predict} must depend only on registered state;
+    the observation of the cycle's outcome is applied at the clock edge by
+    {!observe}.
+
+    For liveness, a scheduler must satisfy the leads-to constraint (1) of
+    the paper: every token arriving at the shared module is eventually
+    served or killed.  All schedulers here guarantee it by eventually
+    switching to any persistently-stalled valid channel. *)
+
+(** What a scheduler can see of one elapsed cycle. *)
+type observation = {
+  in_valid : bool array;  (** V+ at each shared-module input. *)
+  out_valid : bool array;  (** V+ driven on each shared-module output. *)
+  out_stop : bool array;
+      (** S+ seen on each output: a valid-and-stopped predicted output is
+          the misprediction signal described in §2. *)
+  out_kill : bool array;
+      (** V- arriving at each output (an anti-token racing backwards:
+          evidence the channel was {e not} needed). *)
+  served : int option;
+      (** Channel whose token actually traversed the shared module and was
+          accepted downstream this cycle. *)
+  hint : int option;
+      (** Value of the hint token consumed this cycle, when the shared
+          module has a hint input (e.g. the error detector's outcome wired
+          straight into the scheduler, as §5.1/§5.2 prescribe). *)
+}
+
+(** Prediction strategy specification — a declarative description so that
+    netlists stay comparable and printable. *)
+type spec =
+  | Static of int  (** Always predict the same channel. *)
+  | Toggle  (** Alternate channels every cycle (Table 1's scheduler). *)
+  | Sticky
+      (** Keep the current prediction until a retry on the predicted
+          output reveals a misprediction, then move to the next channel. *)
+  | Two_bit
+      (** Two-bit saturating counter between two channels, trained by
+          serve/retry outcomes (2-way only). *)
+  | Round_robin  (** Advance to the next channel after every serve. *)
+  | Scripted of int array
+      (** Fixed prediction per cycle (wraps around); used to reproduce
+          Table 1 exactly. *)
+  | Noisy_oracle of { sel : int array; accuracy_pct : int; seed : int }
+      (** Knows the true select stream for each successive transfer and
+          predicts it correctly with probability [accuracy_pct]/100; after
+          a detected misprediction it corrects itself.  Models an
+          arbitrary predictor of a given accuracy. *)
+  | External
+      (** Prediction is forced from outside with {!force}; used by the
+          model checker to quantify over all schedulers. *)
+  | Prefer of int
+      (** Speculate on a home channel (e.g. "no error will be found",
+          §5.1/§5.2): predict the home channel until a retry reveals a
+          misprediction, deviate to the next channel for a single serve
+          (the replay), then return home. *)
+  | Hinted_replay
+      (** Always speculate on channel 0; a non-zero hint token (the error
+          detector's verdict on the operation just served) switches to
+          channel 1 for exactly one replay serve, then returns home.  This
+          is the scheduler of the paper's variable-latency and resilient
+          designs, which "must only listen to the outcome" of the
+          detector. *)
+  | Gshare of { history_bits : int }
+      (** Branch-predictor-style two-level scheduler (2-way only): a
+          global history register XOR-indexes a table of two-bit
+          counters, trained by serves and detected mispredictions — the
+          "state-of-the-art branch prediction" end of the spectrum
+          §4.1.1 mentions.  [history_bits] in [1, 10]. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+val spec_name : spec -> string
+
+(** A running scheduler instance. *)
+type t
+
+(** [make ~ways spec] instantiates a scheduler for a [ways]-input shared
+    module.  @raise Invalid_argument if the spec cannot serve [ways]
+    channels (e.g. [Static i] with [i >= ways]). *)
+val make : ways:int -> spec -> t
+
+(** Current prediction, a channel index in [0, ways). *)
+val predict : t -> int
+
+(** Clock edge: record the cycle's outcome. *)
+val observe : t -> observation -> unit
+
+(** [force t c] overrides the prediction (meaningful for [External]
+    schedulers; allowed on any). *)
+val force : t -> int -> unit
+
+(** Mispredictions detected so far (retries seen on the predicted
+    output). *)
+val mispredictions : t -> int
+
+(** Tokens served so far. *)
+val serves : t -> int
+
+(** Internal state encoded as ints — used by the model checker to include
+    the scheduler in the system state. *)
+val state : t -> int list
+
+(** Behaviourally relevant part of the state: statistics counters are
+    excluded so that exhaustive exploration merges equivalent states. *)
+val key : t -> int list
+
+val set_state : t -> int list -> unit
+
+val spec : t -> spec
+
+val ways : t -> int

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Elastic_kernel Elastic_netlist Fmt Hashtbl Instance List Netlist Option Protocol Signal String Transfer Wires

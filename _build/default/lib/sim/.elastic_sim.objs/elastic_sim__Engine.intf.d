@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Elastic_kernel Elastic_netlist Elastic_sched Format Instance Netlist Protocol Scheduler Signal Transfer

@@ -1,0 +1,1 @@
+lib/sim/instance.ml: Array Bool Elastic_kernel Elastic_netlist Elastic_sched Fmt Func List Netlist Option Rng Scheduler Signal Value Wires

@@ -1,0 +1,1 @@
+lib/sim/instance.mli: Elastic_kernel Elastic_netlist Elastic_sched Format Netlist Scheduler Signal Value Wires

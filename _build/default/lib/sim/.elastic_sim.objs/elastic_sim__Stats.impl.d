@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Elastic_netlist Elastic_sched Engine Float Fmt List Netlist Scheduler

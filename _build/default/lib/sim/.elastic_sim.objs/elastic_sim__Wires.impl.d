@@ -1,0 +1,1 @@
+lib/sim/wires.ml: Array Elastic_kernel Fmt Option Signal Value

@@ -1,0 +1,1 @@
+lib/sim/wires.mli: Elastic_kernel Signal Value

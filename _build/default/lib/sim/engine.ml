@@ -1,0 +1,332 @@
+open Elastic_kernel
+open Elastic_netlist
+
+exception Simulation_error of string
+
+type compiled = {
+  inst : Instance.t;
+  in_ch : int array;  (* dense wire index per In port *)
+  sel_ch : int option;
+  out_ch : int array;
+}
+
+type t = {
+  net : Netlist.t;
+  ws : Wires.t;
+  compiled : compiled array;
+  chans : Netlist.channel array;  (* dense order *)
+  ch_index : (Netlist.channel_id, int) Hashtbl.t;
+  monitors : Protocol.monitor array;  (* empty if monitoring disabled *)
+  liveness_bound : int;
+  mutable cycle : int;
+  mutable last_signals : Signal.t array;
+  mutable last_events : Signal.events array;
+  delivered : int array;
+  killed : int array;
+  valid_cycles : int array;  (* cycles with V+ asserted *)
+  retry_cycles : int array;  (* cycles with V+ & S+ (resolved) *)
+  anti_cycles : int array;  (* cycles with V- asserted *)
+  sink_streams : (Netlist.node_id, Transfer.t ref) Hashtbl.t;
+  starve_wait : int array;  (* per channel, for shared-module inputs *)
+  shared_input : bool array;  (* channel feeds a shared module *)
+  mutable starvation : string list;
+}
+
+let dense_index t cid =
+  match Hashtbl.find_opt t.ch_index cid with
+  | Some i -> i
+  | None -> raise (Simulation_error (Fmt.str "unknown channel id %d" cid))
+
+let create ?(monitor = true) ?(liveness_bound = 64) net =
+  (match Netlist.validate net with
+   | [] -> ()
+   | ps ->
+     raise
+       (Simulation_error ("invalid netlist: " ^ String.concat "; " ps)));
+  let chans = Array.of_list (Netlist.channels net) in
+  let ch_index = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (c : Netlist.channel) -> Hashtbl.add ch_index c.Netlist.ch_id i)
+    chans;
+  let ws = Wires.create (Array.length chans) in
+  let wire_of cid = Wires.wire ws (Hashtbl.find ch_index cid) in
+  let compile (n : Netlist.node) =
+    let port_wire p =
+      match Netlist.channel_at net n.Netlist.id p with
+      | Some c -> c.Netlist.ch_id
+      | None -> assert false (* validate guarantees connectivity *)
+    in
+    let ins_ports =
+      List.filter
+        (fun p -> match p with Netlist.In _ -> true | _ -> false)
+        (Netlist.required_inputs n.Netlist.kind)
+    in
+    let has_sel =
+      List.exists
+        (fun p -> Netlist.port_equal p Netlist.Sel)
+        (Netlist.required_inputs n.Netlist.kind)
+    in
+    let outs_ports = Netlist.required_outputs n.Netlist.kind in
+    let in_ids = List.map port_wire ins_ports in
+    let out_ids = List.map port_wire outs_ports in
+    let sel_id = if has_sel then Some (port_wire Netlist.Sel) else None in
+    let inst =
+      Instance.create n
+        ~ins:(Array.of_list (List.map wire_of in_ids))
+        ~sel:(Option.map wire_of sel_id)
+        ~outs:(Array.of_list (List.map wire_of out_ids))
+    in
+    { inst;
+      in_ch = Array.of_list (List.map (Hashtbl.find ch_index) in_ids);
+      sel_ch = Option.map (Hashtbl.find ch_index) sel_id;
+      out_ch = Array.of_list (List.map (Hashtbl.find ch_index) out_ids) }
+  in
+  let compiled =
+    Array.of_list (List.map compile (Netlist.nodes net))
+  in
+  let monitors =
+    if not monitor then [||]
+    else
+      Array.map
+        (fun (c : Netlist.channel) ->
+           (* §4.2: shared-module outputs need not be persistent. *)
+           let src_kind =
+             (Netlist.node net c.Netlist.src.ep_node).Netlist.kind
+           in
+           let persistent =
+             match src_kind with
+             | Netlist.Shared _ -> false
+             | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+             | Netlist.Func _ | Netlist.Fork _ | Netlist.Mux _
+             | Netlist.Varlat _ -> true
+           in
+           Protocol.create ~check_forward_persistence:persistent
+             ~liveness_bound ~name:c.Netlist.ch_name ())
+        chans
+  in
+  let sink_streams = Hashtbl.create 8 in
+  List.iter
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Sink _ ->
+         Hashtbl.replace sink_streams n.Netlist.id (ref Transfer.empty)
+       | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _
+       | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
+       | Netlist.Varlat _ -> ())
+    (Netlist.nodes net);
+  { net; ws; compiled; chans; ch_index; monitors; liveness_bound;
+    cycle = 0;
+    last_signals = Array.make (Array.length chans) Signal.idle;
+    last_events =
+      Array.make (Array.length chans) (Signal.events Signal.idle);
+    delivered = Array.make (Array.length chans) 0;
+    killed = Array.make (Array.length chans) 0;
+    valid_cycles = Array.make (Array.length chans) 0;
+    retry_cycles = Array.make (Array.length chans) 0;
+    anti_cycles = Array.make (Array.length chans) 0;
+    sink_streams;
+    starve_wait = Array.make (Array.length chans) 0;
+    shared_input =
+      Array.map
+        (fun (c : Netlist.channel) ->
+           match (Netlist.node net c.Netlist.dst.ep_node).Netlist.kind with
+           | Netlist.Shared _ -> true
+           | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+           | Netlist.Func _ | Netlist.Fork _ | Netlist.Mux _
+           | Netlist.Varlat _ -> false)
+        chans;
+    starvation = [] }
+
+let netlist t = t.net
+
+let cycle t = t.cycle
+
+let fixpoint t =
+  let max_passes = (4 * Array.length t.chans) + 16 in
+  let rec go pass =
+    if pass > max_passes then
+      raise
+        (Simulation_error
+           (Fmt.str "cycle %d: combinational evaluation did not converge"
+              t.cycle));
+    Wires.clear_progress t.ws;
+    Array.iter (fun c -> Instance.eval t.ws c.inst) t.compiled;
+    if Wires.progress t.ws then go (pass + 1)
+  in
+  go 0;
+  if Wires.unknown_count t.ws > 0 then begin
+    let unknowns =
+      Array.to_list t.chans
+      |> List.filteri (fun i _ ->
+          let w = Wires.wire t.ws i in
+          Wires.v_plus w = None || Wires.s_plus w = None
+          || Wires.v_minus w = None || Wires.s_minus w = None)
+      |> List.map (fun (c : Netlist.channel) -> c.Netlist.ch_name)
+    in
+    raise
+      (Simulation_error
+         (Fmt.str
+            "cycle %d: combinational cycle, undetermined channels: %s"
+            t.cycle
+            (String.concat ", " unknowns)))
+  end
+
+let step ?(choices = fun _ -> None) t =
+  Wires.reset t.ws;
+  Array.iter
+    (fun c ->
+       Instance.begin_cycle c.inst
+         ~choice:(choices (Instance.node c.inst).Netlist.id))
+    t.compiled;
+  fixpoint t;
+  let n = Array.length t.chans in
+  let signals =
+    Array.init n (fun i -> Wires.to_signal (Wires.wire t.ws i))
+  in
+  let events = Array.map Signal.events signals in
+  t.last_signals <- signals;
+  t.last_events <- events;
+  Array.iteri
+    (fun i m -> Protocol.step m ~cycle:t.cycle signals.(i))
+    t.monitors;
+  for i = 0 to n - 1 do
+    if events.(i).Signal.token_in then
+      t.delivered.(i) <- t.delivered.(i) + 1;
+    if events.(i).Signal.cancelled then t.killed.(i) <- t.killed.(i) + 1;
+    (let r = Signal.resolve signals.(i) in
+     if r.Signal.v_plus then
+       t.valid_cycles.(i) <- t.valid_cycles.(i) + 1;
+     if r.Signal.v_plus && r.Signal.s_plus then
+       t.retry_cycles.(i) <- t.retry_cycles.(i) + 1;
+     if r.Signal.v_minus then
+       t.anti_cycles.(i) <- t.anti_cycles.(i) + 1);
+    (* Leads-to watchdog on shared-module inputs: a waiting token must
+       eventually be served or killed. *)
+    if t.shared_input.(i) then begin
+      let s = Signal.resolve signals.(i) in
+      if s.Signal.v_plus && not events.(i).Signal.token_out then begin
+        t.starve_wait.(i) <- t.starve_wait.(i) + 1;
+        if t.starve_wait.(i) = t.liveness_bound then
+          t.starvation <-
+            Fmt.str
+              "cycle %d: token starved for %d cycles at shared input %s"
+              t.cycle t.liveness_bound t.chans.(i).Netlist.ch_name
+            :: t.starvation
+      end
+      else t.starve_wait.(i) <- 0
+    end
+  done;
+  (* Record sink transfer streams. *)
+  Array.iter
+    (fun c ->
+       match (Instance.node c.inst).Netlist.kind with
+       | Netlist.Sink _ ->
+         let i = c.in_ch.(0) in
+         if events.(i).Signal.token_in then begin
+           let stream =
+             Hashtbl.find t.sink_streams (Instance.node c.inst).Netlist.id
+           in
+           match signals.(i).Signal.data with
+           | Some v -> stream := Transfer.record !stream ~cycle:t.cycle v
+           | None -> assert false
+         end
+       | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _
+       | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
+       | Netlist.Varlat _ -> ())
+    t.compiled;
+  (* Clock edge. *)
+  Array.iter
+    (fun c ->
+       let pair i = (signals.(i), events.(i)) in
+       Instance.clock c.inst
+         ~ins:(Array.map pair c.in_ch)
+         ~sel:(Option.map pair c.sel_ch)
+         ~outs:(Array.map pair c.out_ch))
+    t.compiled;
+  t.cycle <- t.cycle + 1
+
+let run ?choices ?(on_cycle = fun _ -> ()) t n =
+  for _ = 1 to n do
+    step ?choices t;
+    on_cycle t
+  done
+
+let signal t cid = t.last_signals.(dense_index t cid)
+
+let events t cid = t.last_events.(dense_index t cid)
+
+let sink_stream t nid =
+  match Hashtbl.find_opt t.sink_streams nid with
+  | Some s -> !s
+  | None ->
+    raise (Simulation_error (Fmt.str "node %d is not a sink" nid))
+
+let delivered t cid = t.delivered.(dense_index t cid)
+
+let killed t cid = t.killed.(dense_index t cid)
+
+let throughput t nid =
+  if t.cycle = 0 then 0.0
+  else
+    float_of_int (Transfer.length (sink_stream t nid))
+    /. float_of_int t.cycle
+
+let activity t cid =
+  let i = dense_index t cid in
+  (t.valid_cycles.(i), t.retry_cycles.(i), t.anti_cycles.(i))
+
+let windowed_throughput t nid =
+  match Transfer.entries (sink_stream t nid) with
+  | [] | [ _ ] -> throughput t nid
+  | first :: _ :: _ as entries ->
+    let last = List.nth entries (List.length entries - 1) in
+    let span = last.Transfer.cycle - first.Transfer.cycle in
+    if span <= 0 then throughput t nid
+    else float_of_int (List.length entries - 1) /. float_of_int span
+
+let occupancies t =
+  Array.to_list t.compiled
+  |> List.filter_map (fun c ->
+      match Instance.buffer_occupancy c.inst with
+      | Some n -> Some ((Instance.node c.inst).Netlist.id, n)
+      | None -> None)
+
+let stored_tokens t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (occupancies t)
+
+let violations t =
+  Array.to_list t.monitors
+  |> List.concat_map (fun m ->
+      List.map (fun v -> (Protocol.name m, v)) (Protocol.violations m))
+
+let starvation_violations t = List.rev t.starvation
+
+let schedulers t =
+  Array.to_list t.compiled
+  |> List.filter_map (fun c ->
+      match Instance.scheduler c.inst with
+      | Some s -> Some ((Instance.node c.inst).Netlist.id, s)
+      | None -> None)
+
+let nondet_nodes t =
+  Array.to_list t.compiled
+  |> List.filter_map (fun c ->
+      if Instance.is_nondet c.inst then Some (Instance.node c.inst)
+      else None)
+
+type snap = Instance.snap array
+
+let snapshot t = Array.map (fun c -> Instance.snapshot c.inst) t.compiled
+
+let restore t snap =
+  if Array.length snap <> Array.length t.compiled then
+    invalid_arg "Engine.restore: snapshot size mismatch";
+  Array.iteri (fun i s -> Instance.restore t.compiled.(i).inst s) snap
+
+let state_key t =
+  Fmt.str "%a"
+    Fmt.(array ~sep:(any "|") Instance.pp_snap)
+    (snapshot t)
+
+let pp_snap ppf (s : snap) =
+  Fmt.pf ppf "%a" Fmt.(array ~sep:(any "|") Instance.pp_snap) s

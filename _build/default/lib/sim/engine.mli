@@ -1,0 +1,108 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+
+(** Cycle-accurate simulator for elastic netlists.
+
+    Each cycle proceeds in three phases:
+    + environment nodes decide what they offer/accept ({!Instance.begin_cycle});
+    + all nodes are evaluated to a combinational fixed point over the
+      channel wires — control bits start unknown and node equations are
+      monotone, so the fixed point is unique; if bits remain unknown the
+      netlist has a true combinational cycle and {!step} raises;
+    + channel boundary events are derived (including token/anti-token
+      cancellation), protocol monitors run, statistics are updated, and
+      every node is clocked.
+
+    The engine also runs the paper's verification conditions online: the
+    SELF protocol monitors of §3.1 on every channel and a starvation
+    watchdog for the leads-to constraint (1) on shared-module inputs. *)
+
+exception Simulation_error of string
+
+type t
+
+(** [create netlist] compiles and validates the netlist.
+
+    @param monitor enable protocol monitors (default [true]).
+    @param liveness_bound watchdog threshold in cycles (default [64]). *)
+val create : ?monitor:bool -> ?liveness_bound:int -> Netlist.t -> t
+
+val netlist : t -> Netlist.t
+
+(** Cycles simulated so far. *)
+val cycle : t -> int
+
+(** Simulate one cycle.  [choices] overrides nondeterministic decisions of
+    environment nodes and [External] schedulers, keyed by node id.
+    @raise Simulation_error on combinational cycles. *)
+val step : ?choices:(Netlist.node_id -> Instance.choice option) -> t -> unit
+
+(** [run t n] simulates [n] cycles; [on_cycle] is called after each cycle
+    (signals of the elapsed cycle are inspectable). *)
+val run :
+  ?choices:(Netlist.node_id -> Instance.choice option) ->
+  ?on_cycle:(t -> unit) -> t -> int -> unit
+
+(** {1 Observation} *)
+
+(** Resolved signals of a channel during the last simulated cycle. *)
+val signal : t -> Netlist.channel_id -> Signal.t
+
+(** Boundary events of a channel during the last simulated cycle. *)
+val events : t -> Netlist.channel_id -> Signal.events
+
+(** Transfer stream recorded at a sink node. *)
+val sink_stream : t -> Netlist.node_id -> Transfer.t
+
+(** Tokens delivered on a channel since creation. *)
+val delivered : t -> Netlist.channel_id -> int
+
+(** Tokens annihilated by anti-tokens on a channel since creation. *)
+val killed : t -> Netlist.channel_id -> int
+
+(** [(valid, retry, anti)] cycle counts of a channel: cycles with a token
+    offered, with a token stalled, and with an anti-token present. *)
+val activity : t -> Netlist.channel_id -> int * int * int
+
+(** Delivered tokens per cycle at the sink's input channel. *)
+val throughput : t -> Netlist.node_id -> float
+
+(** Delivered tokens per cycle between the first and last delivery — the
+    steady-state rate, free of warm-up and drain artifacts on finite
+    workloads. *)
+val windowed_throughput : t -> Netlist.node_id -> float
+
+(** Signed occupancy of every buffer node. *)
+val occupancies : t -> (Netlist.node_id * int) list
+
+(** Net token count currently stored in buffers (tokens minus
+    anti-tokens) — used by conservation tests. *)
+val stored_tokens : t -> int
+
+(** Protocol violations accumulated by the channel monitors, tagged with
+    the channel name. *)
+val violations : t -> (string * Protocol.violation) list
+
+(** Leads-to (starvation) violations observed at shared-module inputs. *)
+val starvation_violations : t -> string list
+
+(** Shared-module schedulers, for misprediction statistics. *)
+val schedulers : t -> (Netlist.node_id * Scheduler.t) list
+
+(** Nodes that consume a nondeterministic choice each cycle. *)
+val nondet_nodes : t -> Netlist.node list
+
+(** {1 State snapshots (model checking)} *)
+
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+
+(** Stable key identifying the register state (cycle counters of
+    environment pattern nodes included). *)
+val state_key : t -> string
+
+val pp_snap : Format.formatter -> snap -> unit

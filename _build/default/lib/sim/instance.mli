@@ -1,0 +1,80 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+
+(** Runtime semantics of one netlist node.
+
+    Each node is evaluated as a monotone function over partially-known
+    channel wires ({!eval} may be called repeatedly within a cycle until a
+    fixed point is reached) and then clocked once with the resolved
+    signals and the channel boundary events of the cycle ({!clock}).
+
+    The implemented controllers follow the paper:
+    - standard EB: Fig. 2(a)/Fig. 3 with [Lf = 1], [Lb = 1], [C = 2];
+    - zero-backward-latency EB: Fig. 5 with [Lf = 1], [Lb = 0], [C = 1];
+    - early-evaluation multiplexor with anti-token emission (§2, §4.1);
+    - shared module with speculation scheduler: Fig. 4(b);
+    - eager fork, lazy join, environment sources/sinks. *)
+
+(** External resolution of one nondeterministic decision (used by the
+    model checker to replace random sources/sinks/schedulers). *)
+type choice =
+  | Offer of bool  (** Source: offer a token this cycle? *)
+  | Stall of bool  (** Sink: assert stop this cycle? *)
+  | Predict of int  (** Shared-module scheduler decision. *)
+
+type t
+
+(** [create node ~ins ~sel ~outs] builds the runtime instance; wire arrays
+    must follow port numbering ([ins.(i)] is port [In i], etc.). *)
+val create :
+  Netlist.node -> ins:Wires.wire array -> sel:Wires.wire option ->
+  outs:Wires.wire array -> t
+
+val node : t -> Netlist.node
+
+(** Does this instance consume a nondeterministic choice each cycle? *)
+val is_nondet : t -> bool
+
+(** The shared-module scheduler, if this node has one. *)
+val scheduler : t -> Scheduler.t option
+
+(** Start-of-cycle hook: environment nodes decide what to offer/accept.
+    [choice] overrides the node's own (pseudo-random or scripted)
+    behaviour. *)
+val begin_cycle : t -> choice:choice option -> unit
+
+(** One monotone evaluation pass; writes whatever wire values have become
+    determined. *)
+val eval : Wires.t -> t -> unit
+
+(** Clock edge.  [ins]/[sel]/[outs] carry, per port, the resolved channel
+    signals and the boundary events of the elapsed cycle. *)
+val clock :
+  t ->
+  ins:(Signal.t * Signal.events) array ->
+  sel:(Signal.t * Signal.events) option ->
+  outs:(Signal.t * Signal.events) array ->
+  unit
+
+(** {1 State snapshots (for the model checker)} *)
+
+(** Marshalable register state of a node. *)
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+
+val snap_equal : snap -> snap -> bool
+
+val pp_snap : Format.formatter -> snap -> unit
+
+(** {1 Introspection} *)
+
+(** Signed token count of a buffer node ([tokens >= 0], anti-tokens
+    [< 0]); [None] for non-buffer nodes. *)
+val buffer_occupancy : t -> int option
+
+(** Tokens currently stored anywhere in the node (buffers only). *)
+val stored_values : t -> Value.t list

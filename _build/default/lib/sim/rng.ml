@@ -1,0 +1,17 @@
+type t = { mutable s : int }
+
+let create ~seed = { s = (seed lxor 0x2545F491) land 0x3FFFFFFF }
+
+let next t =
+  t.s <- ((t.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.s
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  next t mod bound
+
+let percent t pct = int t 100 < pct
+
+let state t = t.s
+
+let set_state t s = t.s <- s

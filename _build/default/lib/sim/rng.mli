@@ -1,0 +1,20 @@
+(** Small deterministic linear-congruential generator.
+
+    Simulation runs must be reproducible across machines and runs, so
+    random sources, sinks and schedulers use this generator rather than
+    the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform integer in [0, bound). *)
+val int : t -> int -> int
+
+(** [percent t pct] is true with probability [pct]/100. *)
+val percent : t -> int -> bool
+
+(** Current internal state (for checkpointing in the model checker). *)
+val state : t -> int
+
+val set_state : t -> int -> unit

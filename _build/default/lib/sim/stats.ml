@@ -1,0 +1,76 @@
+open Elastic_sched
+open Elastic_netlist
+
+type channel_stats = {
+  cs_name : string;
+  cs_delivered : int;
+  cs_killed : int;
+  cs_valid_cycles : int;
+  cs_retry_cycles : int;
+  cs_anti_cycles : int;
+  cs_utilization : float;
+  cs_stall_ratio : float;
+}
+
+type scheduler_stats = {
+  ss_name : string;
+  ss_serves : int;
+  ss_mispredictions : int;
+}
+
+type t = {
+  cycles : int;
+  channels : channel_stats list;
+  schedulers : scheduler_stats list;
+}
+
+let collect eng =
+  let net = Engine.netlist eng in
+  let cycles = Engine.cycle eng in
+  let fcycles = float_of_int (max cycles 1) in
+  let channels =
+    List.map
+      (fun (c : Netlist.channel) ->
+         let valid, retry, anti = Engine.activity eng c.Netlist.ch_id in
+         let delivered = Engine.delivered eng c.Netlist.ch_id in
+         { cs_name = c.Netlist.ch_name;
+           cs_delivered = delivered;
+           cs_killed = Engine.killed eng c.Netlist.ch_id;
+           cs_valid_cycles = valid;
+           cs_retry_cycles = retry;
+           cs_anti_cycles = anti;
+           cs_utilization = float_of_int delivered /. fcycles;
+           cs_stall_ratio =
+             (if valid = 0 then 0.0
+              else float_of_int retry /. float_of_int valid) })
+      (Netlist.channels net)
+  in
+  let schedulers =
+    List.map
+      (fun (nid, sched) ->
+         { ss_name = (Netlist.node net nid).Netlist.name;
+           ss_serves = Scheduler.serves sched;
+           ss_mispredictions = Scheduler.mispredictions sched })
+      (Engine.schedulers eng)
+  in
+  { cycles; channels; schedulers }
+
+let most_stalled t =
+  List.sort
+    (fun a b -> Float.compare b.cs_stall_ratio a.cs_stall_ratio)
+    t.channels
+
+let pp ppf t =
+  Fmt.pf ppf "%d cycles@." t.cycles;
+  Fmt.pf ppf "%-32s %9s %6s %6s %6s %6s@." "channel" "delivered" "kill"
+    "util" "stall" "anti";
+  List.iter
+    (fun c ->
+       Fmt.pf ppf "%-32s %9d %6d %6.3f %6.3f %6d@." c.cs_name c.cs_delivered
+         c.cs_killed c.cs_utilization c.cs_stall_ratio c.cs_anti_cycles)
+    t.channels;
+  List.iter
+    (fun s ->
+       Fmt.pf ppf "scheduler %s: %d serves, %d mispredictions@." s.ss_name
+         s.ss_serves s.ss_mispredictions)
+    t.schedulers

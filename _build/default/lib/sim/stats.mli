@@ -1,0 +1,36 @@
+(** Post-simulation statistics: per-channel utilization and per-scheduler
+    prediction quality — the numbers a designer reads when deciding where
+    to apply the paper's transformations (a persistently-stalled channel
+    on a decision loop is exactly a speculation candidate). *)
+
+type channel_stats = {
+  cs_name : string;
+  cs_delivered : int;  (** Tokens delivered. *)
+  cs_killed : int;  (** Token/anti-token cancellations. *)
+  cs_valid_cycles : int;  (** Cycles with a token offered. *)
+  cs_retry_cycles : int;  (** Cycles with a token stalled. *)
+  cs_anti_cycles : int;  (** Cycles with an anti-token present. *)
+  cs_utilization : float;  (** Delivered per simulated cycle. *)
+  cs_stall_ratio : float;  (** Retry cycles per valid cycle. *)
+}
+
+type scheduler_stats = {
+  ss_name : string;
+  ss_serves : int;
+  ss_mispredictions : int;
+}
+
+type t = {
+  cycles : int;
+  channels : channel_stats list;
+  schedulers : scheduler_stats list;
+}
+
+(** Snapshot the engine's counters. *)
+val collect : Engine.t -> t
+
+(** Channels sorted by stall ratio, worst first — speculation candidates
+    tend to surface at the top. *)
+val most_stalled : t -> channel_stats list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+open Elastic_kernel
+
+type wire = {
+  mutable v_plus : bool option;
+  mutable s_plus : bool option;
+  mutable v_minus : bool option;
+  mutable s_minus : bool option;
+  mutable data : Value.t option;
+  id : int;
+}
+
+type t = { wires : wire array; mutable progress : bool }
+
+let create n =
+  { wires =
+      Array.init n (fun id ->
+          { v_plus = None; s_plus = None; v_minus = None; s_minus = None;
+            data = None; id });
+    progress = false }
+
+let wire t i = t.wires.(i)
+
+let reset t =
+  Array.iter
+    (fun w ->
+       w.v_plus <- None;
+       w.s_plus <- None;
+       w.v_minus <- None;
+       w.s_minus <- None;
+       w.data <- None)
+    t.wires;
+  t.progress <- false
+
+let progress t = t.progress
+
+let clear_progress t = t.progress <- false
+
+let unknown_count t =
+  Array.fold_left
+    (fun acc w ->
+       let u o = if o = None then 1 else 0 in
+       acc + u w.v_plus + u w.s_plus + u w.v_minus + u w.s_minus)
+    0 t.wires
+
+let v_plus w = w.v_plus
+
+let s_plus w = w.s_plus
+
+let v_minus w = w.v_minus
+
+let s_minus w = w.s_minus
+
+let data w = w.data
+
+let set_bit t w field_name get set b =
+  match get w with
+  | None ->
+    set w (Some b);
+    t.progress <- true
+  | Some b' ->
+    if b' <> b then
+      failwith
+        (Fmt.str "Wires: conflicting write to %s of channel wire %d"
+           field_name w.id)
+
+let set_v_plus t w b =
+  set_bit t w "V+" (fun w -> w.v_plus) (fun w v -> w.v_plus <- v) b
+
+let set_s_plus t w b =
+  set_bit t w "S+" (fun w -> w.s_plus) (fun w v -> w.s_plus <- v) b
+
+let set_v_minus t w b =
+  set_bit t w "V-" (fun w -> w.v_minus) (fun w v -> w.v_minus <- v) b
+
+let set_s_minus t w b =
+  set_bit t w "S-" (fun w -> w.s_minus) (fun w v -> w.s_minus <- v) b
+
+let set_data t w v =
+  match w.data with
+  | None ->
+    w.data <- Some v;
+    t.progress <- true
+  | Some v' ->
+    if not (Value.equal v v') then
+      failwith
+        (Fmt.str "Wires: conflicting data write to channel wire %d" w.id)
+
+let to_signal w =
+  let b o = Option.value o ~default:false in
+  let v_plus = b w.v_plus in
+  { Signal.v_plus; s_plus = b w.s_plus; v_minus = b w.v_minus;
+    s_minus = b w.s_minus; data = (if v_plus then w.data else None) }

@@ -1,0 +1,59 @@
+open Elastic_kernel
+
+(** Per-cycle channel wire values with three-valued (unknown) logic.
+
+    During the combinational phase of a cycle each control bit of each
+    channel starts unknown and is written at most once by the driving
+    node.  The fixed-point engine repeatedly evaluates nodes until no new
+    wire becomes known; writing two different values to one wire is a
+    simulator bug and raises. *)
+
+type wire
+
+type t
+
+(** [create n] makes a store for [n] channels (dense indices). *)
+val create : int -> t
+
+val wire : t -> int -> wire
+
+(** Forget all values (start of a new cycle). *)
+val reset : t -> unit
+
+(** Has any wire been written since the flag was last cleared? *)
+val progress : t -> bool
+
+val clear_progress : t -> unit
+
+(** Number of control bits still unknown (data excluded). *)
+val unknown_count : t -> int
+
+(** {1 Reading} *)
+
+val v_plus : wire -> bool option
+
+val s_plus : wire -> bool option
+
+val v_minus : wire -> bool option
+
+val s_minus : wire -> bool option
+
+(** Data is meaningful only when [v_plus = Some true]. *)
+val data : wire -> Value.t option
+
+(** {1 Writing}  @raise Failure on conflicting writes. *)
+
+val set_v_plus : t -> wire -> bool -> unit
+
+val set_s_plus : t -> wire -> bool -> unit
+
+val set_v_minus : t -> wire -> bool -> unit
+
+val set_s_minus : t -> wire -> bool -> unit
+
+val set_data : t -> wire -> Value.t -> unit
+
+(** Fully-resolved signals of a wire after the fixed point; unknown bits
+    default to false (they can only remain unknown if the engine already
+    reported an error). *)
+val to_signal : wire -> Signal.t

@@ -1,0 +1,1 @@
+test/blif_sim.ml: Hashtbl List Option String

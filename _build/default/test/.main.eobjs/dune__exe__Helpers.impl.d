@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Elastic_kernel Elastic_netlist Elastic_sim List Netlist String Transfer Value

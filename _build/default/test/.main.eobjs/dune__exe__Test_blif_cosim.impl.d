@@ -1,0 +1,1 @@
+test/test_blif_cosim.ml: Alcotest Blif Blif_sim Elastic_kernel Elastic_netlist Elastic_sched Elastic_sim Engine Fmt Fun Func Helpers List Netlist Option Signal Value

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Elastic_check Elastic_kernel Elastic_netlist Elastic_sched Explore Fmt Func Helpers Scheduler Value

@@ -1,0 +1,1 @@
+test/test_datapath.ml: Alcotest Alu Elastic_datapath Fmt Int64 List QCheck QCheck_alcotest Secded Test

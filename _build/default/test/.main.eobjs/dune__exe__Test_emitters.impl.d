@@ -1,0 +1,1 @@
+test/test_emitters.ml: Alcotest Blif Dot Elastic_core Elastic_datapath Elastic_kernel Elastic_netlist Elastic_sched Examples Figures Filename Fmt Helpers List Netlist Smv String Sys Verilog

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Alu Elastic_core Elastic_datapath Elastic_kernel Elastic_netlist Elastic_sim Engine Equiv Examples Fmt Helpers List Transfer

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Elastic_core Elastic_kernel Elastic_netlist Elastic_perf Elastic_sched Elastic_sim Engine Equiv Figures Fmt Func Helpers List Netlist Option Scheduler Speculation Value

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Elastic_kernel Fmt List Protocol Signal Stdlib Transfer Value

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Area Dot Elastic_kernel Elastic_netlist Fmt Func Helpers List Netlist Timing Value

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Elastic_kernel Elastic_netlist Elastic_perf Elastic_sim Fmt Func Helpers List Marked_graph Timing Value

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Elastic_sched Fmt List Scheduler

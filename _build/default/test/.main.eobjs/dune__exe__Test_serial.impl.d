@@ -1,0 +1,1 @@
+test/test_serial.ml: Alcotest Elastic_core Elastic_datapath Elastic_kernel Elastic_netlist Equiv Examples Figures Filename Fmt Helpers List Netlist Serial Shell Sys Value

@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Elastic_core Elastic_netlist Filename Helpers List Netlist Option Shell String Sys

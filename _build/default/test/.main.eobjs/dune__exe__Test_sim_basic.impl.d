@@ -1,0 +1,1 @@
+test/test_sim_basic.ml: Alcotest Elastic_kernel Elastic_netlist Elastic_sim Engine Func Helpers List String Transfer Value

@@ -1,0 +1,1 @@
+test/test_sim_more.ml: Alcotest Elastic_core Elastic_kernel Elastic_netlist Elastic_sched Elastic_sim Engine Fmt Func Helpers List Netlist Scheduler Stats Value

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Elastic_core Elastic_kernel Elastic_netlist Elastic_sched Elastic_sim Equiv Figures Fmt Func Helpers List Netlist Scheduler Speculation Transform Value

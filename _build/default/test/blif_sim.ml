@@ -1,0 +1,116 @@
+(* A miniature BLIF interpreter used to cross-validate the Blif backend:
+   the exported gate-level control network must behave exactly like the
+   reference simulator.  Supports the subset the emitter produces:
+   .inputs/.outputs/.latch (rising edge, with init) and single-output
+   .names with 0/1/- cubes. *)
+
+type gate = { g_ins : string list; g_out : string; cubes : string list }
+
+type t = {
+  inputs : string list;
+  outputs : string list;
+  latches : (string * string * bool) list;  (* d, q, init *)
+  gates : gate list;
+  values : (string, bool) Hashtbl.t;  (* current net values *)
+}
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let words l =
+    String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+  in
+  let inputs = ref [] and outputs = ref [] in
+  let latches = ref [] and gates = ref [] in
+  let rec go = function
+    | [] -> ()
+    | l :: rest when String.length l >= 6 && String.sub l 0 6 = ".model" ->
+      go rest
+    | l :: rest when String.length l >= 7 && String.sub l 0 7 = ".inputs" ->
+      inputs := List.tl (words l);
+      go rest
+    | l :: rest when String.length l >= 8 && String.sub l 0 8 = ".outputs"
+      ->
+      outputs := List.tl (words l);
+      go rest
+    | l :: rest when String.length l >= 6 && String.sub l 0 6 = ".latch" ->
+      (match words l with
+       | [ _; d; q; "re"; "clk"; init ] ->
+         latches := (d, q, init = "1") :: !latches
+       | _ -> failwith ("bad latch line: " ^ l));
+      go rest
+    | l :: rest when String.length l >= 6 && String.sub l 0 6 = ".names" ->
+      let names = List.tl (words l) in
+      let out = List.nth names (List.length names - 1) in
+      let g_ins = List.filteri (fun i _ -> i < List.length names - 1) names in
+      let rec take_cubes acc = function
+        | c :: more when String.length c > 0 && c.[0] <> '.' ->
+          take_cubes (c :: acc) more
+        | more -> (List.rev acc, more)
+      in
+      let cube_lines, rest = take_cubes [] rest in
+      (* Keep only the input-pattern part of each cube. *)
+      let cubes =
+        List.map
+          (fun c ->
+             match words c with
+             | [ pat; "1" ] -> pat
+             | [ "1" ] -> ""  (* constant 1 *)
+             | _ -> failwith ("bad cube: " ^ c))
+          cube_lines
+      in
+      gates := { g_ins; g_out = out; cubes } :: !gates;
+      go rest
+    | l :: rest when String.equal l ".end" -> go rest
+    | l :: _ -> failwith ("unrecognized BLIF line: " ^ l)
+  in
+  go lines;
+  let t =
+    { inputs = !inputs; outputs = !outputs; latches = List.rev !latches;
+      gates = List.rev !gates; values = Hashtbl.create 256 }
+  in
+  (* Latch outputs take their initial values. *)
+  List.iter (fun (_, q, init) -> Hashtbl.replace t.values q init) t.latches;
+  t
+
+let get t net = Option.value (Hashtbl.find_opt t.values net) ~default:false
+
+let eval_gate t g =
+  let matches pat =
+    List.for_all2
+      (fun c v ->
+         match c with '1' -> v | '0' -> not v | _ -> true)
+      (List.init (String.length pat) (String.get pat))
+      (List.map (get t) g.g_ins)
+  in
+  match g.cubes with
+  | [] -> false
+  | [ "" ] -> true
+  | cubes -> List.exists matches cubes
+
+(* One clock cycle: set primary inputs, settle the combinational gates by
+   fixed point, let the caller observe the settled nets, then clock the
+   latches. *)
+let step t ~set_inputs ~observe =
+  List.iter (fun (k, v) -> Hashtbl.replace t.values k v) set_inputs;
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed do
+    incr guard;
+    if !guard > 10_000 then failwith "BLIF evaluation did not settle";
+    changed := false;
+    List.iter
+      (fun g ->
+         let v = eval_gate t g in
+         if get t g.g_out <> v then begin
+           Hashtbl.replace t.values g.g_out v;
+           changed := true
+         end)
+      t.gates
+  done;
+  observe t;
+  let next = List.map (fun (d, q, _) -> (q, get t d)) t.latches in
+  List.iter (fun (q, v) -> Hashtbl.replace t.values q v) next

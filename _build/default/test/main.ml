@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "elastic-speculation"
+    [ ("kernel.value", Test_kernel.value_suite);
+      ("kernel.signal", Test_kernel.signal_suite);
+      ("kernel.transfer", Test_kernel.transfer_suite);
+      ("kernel.protocol", Test_kernel.protocol_suite);
+      ("sched", Test_sched.suite);
+      ("netlist", Test_netlist.suite);
+      ("sim.basic", Test_sim_basic.suite);
+      ("core.figures", Test_figures.suite);
+      ("datapath", Test_datapath.suite);
+      ("core.examples", Test_examples.suite);
+      ("check", Test_check.suite);
+      ("core.transform", Test_transform.suite);
+      ("perf", Test_perf.suite);
+      ("emitters", Test_emitters.suite);
+      ("shell", Test_shell.suite);
+      ("sim.property", Test_sim_property.suite);
+      ("sim.more", Test_sim_more.suite);
+      ("serial", Test_serial.suite);
+      ("blif.cosim", Test_blif_cosim.suite) ]

@@ -1,0 +1,192 @@
+open Elastic_kernel
+open Elastic_netlist
+open Elastic_sim
+open Helpers
+
+(* Co-simulation of the exported BLIF control network against the
+   reference simulator: same environment decisions, bit-identical channel
+   control signals on every cycle.  This closes the loop on the Blif
+   backend the way the paper's flow trusts SIS netlists. *)
+
+let cosim ?(cycles = 40) net ~env_inputs =
+  let eng = Engine.create ~monitor:false net in
+  let blif = Blif_sim.parse (Blif.to_string ~model:"m" net) in
+  let chans = Netlist.channels net in
+  for cyc = 0 to cycles - 1 do
+    Engine.step eng;
+    let inputs = env_inputs eng in
+    Blif_sim.step blif ~set_inputs:inputs ~observe:(fun b ->
+        List.iter
+          (fun (c : Netlist.channel) ->
+             let s = Engine.signal eng c.Netlist.ch_id in
+             let check field expected =
+               let got = Blif_sim.get b (Fmt.str "%s_%d" field c.Netlist.ch_id) in
+               if got <> expected then
+                 Alcotest.failf
+                   "cycle %d channel %s: %s is %b in BLIF, %b in simulator"
+                   cyc c.Netlist.ch_name field got expected
+             in
+             check "vp" s.Signal.v_plus;
+             check "sp" s.Signal.s_plus;
+             check "vm" s.Signal.v_minus;
+             check "sm" s.Signal.s_minus)
+          chans)
+  done
+
+(* Environment inputs mirrored from the engine's own decisions. *)
+let source_offer net eng =
+  List.filter_map
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Source _ ->
+         let c = Option.get (Netlist.channel_at net n.Netlist.id (Out 0)) in
+         let s = Engine.signal eng c.Netlist.ch_id in
+         Some (Fmt.str "offer_%s" n.Netlist.name, s.Signal.v_plus)
+       | _ -> None)
+    (Netlist.nodes net)
+
+let sink_stall net eng =
+  List.filter_map
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Sink _ ->
+         let c = Option.get (Netlist.channel_at net n.Netlist.id (In 0)) in
+         let s = Engine.signal eng c.Netlist.ch_id in
+         Some (Fmt.str "stall_%s" n.Netlist.name, s.Signal.s_plus)
+       | _ -> None)
+    (Netlist.nodes net)
+
+let suite =
+  [ Alcotest.test_case "pipeline control network matches gate level"
+      `Quick (fun () ->
+        let b = builder () in
+        let s = add b ~name:"src" (Source (Stream (ints (List.init 30 Fun.id)))) in
+        let e1 = eb b ~init:[ Value.Int 99 ] () in
+        let e2 = eb0 b () in
+        let f = add b ~name:"f" (Func (Func.inc ~step:1 ())) in
+        let k = add b ~name:"snk" (Sink (Stall_pattern [| false; true; true; false |])) in
+        let _ = conn b (s, Out 0) (e1, In 0) in
+        let _ = conn b (e1, Out 0) (e2, In 0) in
+        let _ = conn b (e2, Out 0) (f, In 0) in
+        let _ = conn b (f, Out 0) (k, In 0) in
+        let net = b.net in
+        cosim net ~env_inputs:(fun eng ->
+            source_offer net eng @ sink_stall net eng));
+    Alcotest.test_case "fork/join control network matches gate level"
+      `Quick (fun () ->
+        let b = builder () in
+        let s = add b ~name:"src" (Source (Stream (ints (List.init 20 Fun.id)))) in
+        let fk = add b (Fork 2) in
+        let e1 = eb b () in
+        let j = add b (Func (Func.add_int ~arity:2 ())) in
+        let k = add b ~name:"snk" (Sink (Stall_pattern [| true; false |])) in
+        let _ = conn b (s, Out 0) (fk, In 0) in
+        let _ = conn b (fk, Out 0) (e1, In 0) in
+        let _ = conn b (fk, Out 1) (j, In 1) in
+        let _ = conn b (e1, Out 0) (j, In 0) in
+        let _ = conn b (j, Out 0) (k, In 0) in
+        let net = b.net in
+        cosim net ~env_inputs:(fun eng ->
+            source_offer net eng @ sink_stall net eng));
+    Alcotest.test_case
+      "early mux with anti-tokens matches gate level" `Quick (fun () ->
+        let b = builder () in
+        let sel =
+          add b ~name:"sel" (Source (Stream (ints [ 0; 1; 0; 0; 1; 1; 0 ])))
+        in
+        let s0 = add b ~name:"d0" (Source (Stream (ints (List.init 20 Fun.id)))) in
+        let s1 = add b ~name:"d1" (Source (Stream (ints (List.init 20 Fun.id)))) in
+        let e0 = eb b () in
+        let m = add b ~name:"mx" (Mux { ways = 2; early = true }) in
+        let k = add b ~name:"snk" (Sink (Stall_pattern [| false; false; true |])) in
+        let sel_ch = conn b (sel, Out 0) (m, Sel) in
+        let _ = conn b (s0, Out 0) (e0, In 0) in
+        let _ = conn b (e0, Out 0) (m, In 0) in
+        let _ = conn b (s1, Out 0) (m, In 1) in
+        let _ = conn b (m, Out 0) (k, In 0) in
+        let net = b.net in
+        cosim net ~env_inputs:(fun eng ->
+            let s = Engine.signal eng sel_ch in
+            let selval =
+              match s.Signal.data with
+              | Some v when s.Signal.v_plus -> Value.to_int v = 1
+              | _ -> false
+            in
+            ("selval_mx", selval)
+            :: source_offer net eng
+            @ sink_stall net eng));
+    Alcotest.test_case "shared module control matches gate level" `Quick
+      (fun () ->
+        let b = builder () in
+        let s0 = add b ~name:"i0" (Source (Stream (ints (List.init 15 Fun.id)))) in
+        let s1 = add b ~name:"i1" (Source (Stream (ints (List.init 15 Fun.id)))) in
+        let f = Func.identity ~delay:1.0 ~area:1.0 () in
+        let sh =
+          add b ~name:"sh"
+            (Shared
+               { ways = 2; f; sched = Elastic_sched.Scheduler.Round_robin;
+                 hinted = false })
+        in
+        let k0 = add b ~name:"k0" (Sink (Stall_pattern [| false; true |])) in
+        let k1 = add b ~name:"k1" (Sink (Stall_pattern [| true; false |])) in
+        let _ = conn b (s0, Out 0) (sh, In 0) in
+        let _ = conn b (s1, Out 0) (sh, In 1) in
+        let _ = conn b (sh, Out 0) (k0, In 0) in
+        let _ = conn b (sh, Out 1) (k1, In 0) in
+        let net = b.net in
+        cosim net ~env_inputs:(fun eng ->
+            let pred =
+              match Engine.schedulers eng with
+              | [ (_, sc) ] -> Elastic_sched.Scheduler.predict sc = 1
+              | _ -> assert false
+            in
+            (* The engine's scheduler already advanced at the clock edge,
+               so its current prediction is the one this settled cycle
+               used only if read before stepping; instead mirror the
+               grant from the observed output valid bits. *)
+            ignore pred;
+            let g1 =
+              let c = Option.get (Netlist.channel_at net sh (Out 1)) in
+              (Engine.signal eng c.Netlist.ch_id).Elastic_kernel.Signal.v_plus
+            in
+            let g0 =
+              let c = Option.get (Netlist.channel_at net sh (Out 0)) in
+              (Engine.signal eng c.Netlist.ch_id).Elastic_kernel.Signal.v_plus
+            in
+            (* If neither output is valid the grant is unobservable but
+               also irrelevant to the others' stalls only through vm...
+               default to channel 0. *)
+            ("pred_sh", g1 && not g0)
+            :: source_offer net eng
+            @ sink_stall net eng));
+    Alcotest.test_case "variable-latency control matches gate level"
+      `Quick (fun () ->
+        let b = builder () in
+        let s = add b ~name:"src" (Source (Stream (ints [ 0; 1; 0; 0; 1; 1; 0; 0 ]))) in
+        let vl =
+          add b ~name:"vl"
+            (Varlat
+               { fast = Func.identity ~delay:1.0 ~area:1.0 ();
+                 slow = Func.identity ~delay:2.0 ~area:1.0 ();
+                 err =
+                   Func.make ~name:"odd" ~arity:1 ~delay:0.5 ~area:1.0
+                     (function
+                       | [ v ] -> Value.Int (Value.to_int v land 1)
+                       | _ -> assert false) })
+        in
+        let k = add b ~name:"snk" (Sink (Stall_pattern [| false; false; true |])) in
+        let in_ch = conn b (s, Out 0) (vl, In 0) in
+        let _ = conn b (vl, Out 0) (k, In 0) in
+        let net = b.net in
+        cosim net ~env_inputs:(fun eng ->
+            (* slowpick mirrors the error detector on the token entering
+               this cycle: odd values take the slow path. *)
+            let s = Engine.signal eng in_ch in
+            let slow =
+              match s.Signal.data with
+              | Some v when s.Signal.v_plus -> Value.to_int v land 1 = 1
+              | _ -> false
+            in
+            ("slowpick_vl", slow)
+            :: source_offer net eng
+            @ sink_stall net eng)) ]

@@ -1,0 +1,283 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+open Elastic_check
+open Helpers
+
+(* Controller zoo: small closed systems with fully nondeterministic
+   environments, explored exhaustively (the paper's NuSMV step). *)
+
+let nsrc b ?name vs = add b ?name (Source (Nondet vs))
+
+let nsink b ?name () = add b ?name (Sink (Random_stall { pct = 50; seed = 1 }))
+
+let explore_clean ?config name net =
+  let o = Explore.explore ?config net in
+  if not (Explore.clean o) then
+    Alcotest.failf "%s: %a@.%a" name Explore.pp_outcome o
+      Fmt.(list ~sep:(any "@.") string)
+      (o.Explore.protocol_violations
+       @ o.Explore.deadlock_states @ o.Explore.starving_channels);
+  o
+
+let pipeline_of mk_buffer =
+  let b = builder () in
+  let s = nsrc b [ Value.Int 0; Value.Int 1 ] in
+  let e = mk_buffer b in
+  let k = nsink b () in
+  let _ = conn b (s, Out 0) (e, In 0) in
+  let _ = conn b (e, Out 0) (k, In 0) in
+  b.net
+
+let suite =
+  [ Alcotest.test_case "EB(Lf=1,Lb=1,C=2) is protocol clean and live"
+      `Quick (fun () ->
+        let o = explore_clean "eb" (pipeline_of (fun b -> eb b ())) in
+        Alcotest.(check bool) "nontrivial state space" true
+          (o.Explore.explored > 4));
+    Alcotest.test_case "EB0(Lf=1,Lb=0,C=1) is protocol clean and live"
+      `Quick (fun () ->
+        ignore (explore_clean "eb0" (pipeline_of (fun b -> eb0 b ()))));
+    Alcotest.test_case "EB chain with initial token verified" `Quick
+      (fun () ->
+         let b = builder () in
+         let s = nsrc b [ Value.Int 7 ] in
+         let e1 = eb b ~init:[ Value.Int 3 ] () in
+         let e2 = eb0 b () in
+         let e3 = eb b () in
+         let k = nsink b () in
+         let _ = conn b (s, Out 0) (e1, In 0) in
+         let _ = conn b (e1, Out 0) (e2, In 0) in
+         let _ = conn b (e2, Out 0) (e3, In 0) in
+         let _ = conn b (e3, Out 0) (k, In 0) in
+         ignore (explore_clean "chain" b.net));
+    Alcotest.test_case "fork/join diamond verified" `Quick (fun () ->
+        let b = builder () in
+        let s = nsrc b [ Value.Int 1; Value.Int 2 ] in
+        let f = add b (Fork 2) in
+        let e1 = eb b () in
+        let e2 = eb b () in
+        let j = add b (Func (Func.add_int ~arity:2 ())) in
+        let k = nsink b () in
+        let _ = conn b (s, Out 0) (f, In 0) in
+        let _ = conn b (f, Out 0) (e1, In 0) in
+        let _ = conn b (f, Out 1) (e2, In 0) in
+        let _ = conn b (e1, Out 0) (j, In 0) in
+        let _ = conn b (e2, Out 0) (j, In 1) in
+        let _ = conn b (j, Out 0) (k, In 0) in
+        ignore (explore_clean "diamond" b.net));
+    Alcotest.test_case "early mux with anti-token counterflow verified"
+      `Quick (fun () ->
+        let b = builder () in
+        let sel = nsrc b ~name:"sel" [ Value.Int 0; Value.Int 1 ] in
+        let s0 = nsrc b ~name:"d0" [ Value.Int 10 ] in
+        let s1 = nsrc b ~name:"d1" [ Value.Int 20 ] in
+        let e0 = eb b () in
+        let m = add b (Mux { ways = 2; early = true }) in
+        let k = nsink b () in
+        let _ = conn b (sel, Out 0) (m, Sel) in
+        let _ = conn b (s0, Out 0) (e0, In 0) in
+        let _ = conn b (e0, Out 0) (m, In 0) in
+        let _ = conn b (s1, Out 0) (m, In 1) in
+        let _ = conn b (m, Out 0) (k, In 0) in
+        let o = explore_clean "early-mux" b.net in
+        Alcotest.(check bool) "explores both selections" true
+          (o.Explore.explored > 8));
+    Alcotest.test_case "zero-token join cycle is reported as deadlock"
+      `Quick (fun () ->
+        let b = builder () in
+        let sa = nsrc b [ Value.Int 1 ] in
+        let sb = nsrc b [ Value.Int 2 ] in
+        let j1 = add b (Func (Func.add_int ~arity:2 ())) in
+        let j2 = add b (Func (Func.add_int ~arity:2 ())) in
+        let e12 = eb b () in
+        let e21 = eb b () in
+        let _ = conn b (sa, Out 0) (j1, In 0) in
+        let _ = conn b (e21, Out 0) (j1, In 1) in
+        let _ = conn b (j1, Out 0) (e12, In 0) in
+        let _ = conn b (sb, Out 0) (j2, In 0) in
+        let _ = conn b (e12, Out 0) (j2, In 1) in
+        let _ = conn b (j2, Out 0) (e21, In 0) in
+        let o = Explore.explore b.net in
+        Alcotest.(check bool) "deadlock found" true
+          (o.Explore.deadlock_states <> []
+           || o.Explore.starving_channels <> []);
+        if o.Explore.deadlock_states <> [] then
+          Alcotest.(check bool) "counterexample rendered" true
+            (o.Explore.counterexample <> []));
+    Alcotest.test_case "hinted replay stage verified exhaustively" `Quick
+      (fun () ->
+        (* Miniature of the Sec. 5 replay template: the hint stream
+           drives a hinted shared module; fast path channel 0, slow path
+           channel 1 through an EB; select comes from the hint via an EB.
+           Data cycles 0/1 so the state stays finite; err(v) = v. *)
+        let b = builder () in
+        let s = nsrc b [ Value.Int 0; Value.Int 1 ] in
+        let fork = add b (Fork 3) in
+        let idf = Func.identity ~delay:1.0 ~area:1.0 () in
+        let ffast = add b ~name:"fast" (Func idf) in
+        let fslow = add b ~name:"slow" (Func idf) in
+        let ferr = add b ~name:"errf" (Func idf) in
+        let err_fork = add b (Fork 2) in
+        let ebx = eb b ~name:"EBx" () in
+        let ebe = eb b ~name:"EBe" () in
+        let sh =
+          add b
+            (Shared
+               { ways = 2; f = idf; sched = Scheduler.Hinted_replay;
+                 hinted = true })
+        in
+        let eb0r = eb0 b ~name:"EB0r" () in
+        let eb1r = eb0 b ~name:"EB1r" () in
+        let m = add b (Mux { ways = 2; early = true }) in
+        let k = nsink b () in
+        let _ = conn b (s, Out 0) (fork, In 0) in
+        let _ = conn b (fork, Out 0) (ffast, In 0) in
+        let _ = conn b (fork, Out 1) (fslow, In 0) in
+        let _ = conn b (fork, Out 2) (ferr, In 0) in
+        let _ = conn b (ffast, Out 0) (sh, In 0) in
+        let _ = conn b (fslow, Out 0) (ebx, In 0) in
+        let _ = conn b (ebx, Out 0) (sh, In 1) in
+        let _ = conn b (ferr, Out 0) (err_fork, In 0) in
+        let _ = conn b (err_fork, Out 0) (ebe, In 0) in
+        let _ = conn b (ebe, Out 0) (m, Sel) in
+        let _ = conn b (err_fork, Out 1) (sh, Sel) in
+        let _ = conn b (sh, Out 0) (eb0r, In 0) in
+        let _ = conn b (eb0r, Out 0) (m, In 0) in
+        let _ = conn b (sh, Out 1) (eb1r, In 0) in
+        let _ = conn b (eb1r, Out 0) (m, In 1) in
+        let _ = conn b (m, Out 0) (k, In 0) in
+        ignore (explore_clean "hinted-replay" b.net));
+    Alcotest.test_case
+      "speculation loop: progress always reachable for some scheduler"
+      `Quick (fun () ->
+        (* External scheduler = universal quantification over prediction
+           sequences; cleanliness shows no reachable state is stuck for
+           every scheduler, i.e. a leads-to-compliant scheduler can always
+           proceed (the paper's refinement argument). *)
+        let b = builder () in
+        let s0 = nsrc b ~name:"in0" [ Value.Int 0 ] in
+        let s1 = nsrc b ~name:"in1" [ Value.Int 1 ] in
+        let f = Func.make ~name:"F" ~arity:1 ~delay:1.0 ~area:1.0
+            (function [ v ] -> v | _ -> assert false)
+        in
+        let sh =
+          add b (Shared { ways = 2; f; sched = Scheduler.External;
+                          hinted = false })
+        in
+        let m = add b (Mux { ways = 2; early = true }) in
+        let e = eb b ~init:[ Value.Int 0 ] () in
+        let fk = add b (Fork 2) in
+        let g = add b
+            (Func
+               (Func.make ~name:"G" ~arity:1 ~delay:1.0 ~area:1.0 (function
+                  | [ v ] -> Value.Int (1 - Value.to_int v)
+                  | _ -> assert false)))
+        in
+        let k = nsink b () in
+        let _ = conn b (s0, Out 0) (sh, In 0) in
+        let _ = conn b (s1, Out 0) (sh, In 1) in
+        let _ = conn b (sh, Out 0) (m, In 0) in
+        let _ = conn b (sh, Out 1) (m, In 1) in
+        let _ = conn b (m, Out 0) (e, In 0) in
+        let _ = conn b (e, Out 0) (fk, In 0) in
+        let _ = conn b (fk, Out 0) (g, In 0) in
+        let _ = conn b (g, Out 0) (m, Sel) in
+        let _ = conn b (fk, Out 1) (k, In 0) in
+        ignore (explore_clean "speculation-loop" b.net));
+    Alcotest.test_case
+      "same loop with a static scheduler starves (leads-to violated)"
+      `Quick (fun () ->
+        let b = builder () in
+        let s0 = nsrc b ~name:"in0" [ Value.Int 0 ] in
+        let s1 = nsrc b ~name:"in1" [ Value.Int 1 ] in
+        let f = Func.make ~name:"F" ~arity:1 ~delay:1.0 ~area:1.0
+            (function [ v ] -> v | _ -> assert false)
+        in
+        let sh =
+          add b (Shared { ways = 2; f; sched = Scheduler.Static 0;
+                          hinted = false })
+        in
+        let m = add b (Mux { ways = 2; early = true }) in
+        let e = eb b ~init:[ Value.Int 0 ] () in
+        let fk = add b (Fork 2) in
+        let g = add b
+            (Func
+               (Func.make ~name:"G" ~arity:1 ~delay:1.0 ~area:1.0 (function
+                  | [ v ] -> Value.Int (1 - Value.to_int v)
+                  | _ -> assert false)))
+        in
+        let k = nsink b () in
+        let _ = conn b (s0, Out 0) (sh, In 0) in
+        let _ = conn b (s1, Out 0) (sh, In 1) in
+        let _ = conn b (sh, Out 0) (m, In 0) in
+        let _ = conn b (sh, Out 1) (m, In 1) in
+        let _ = conn b (m, Out 0) (e, In 0) in
+        let _ = conn b (e, Out 0) (fk, In 0) in
+        let _ = conn b (fk, Out 0) (g, In 0) in
+        let _ = conn b (g, Out 0) (m, Sel) in
+        let _ = conn b (fk, Out 1) (k, In 0) in
+        let o = Explore.explore b.net in
+        Alcotest.(check bool) "starving channel found" true
+          (o.Explore.starving_channels <> []));
+    Alcotest.test_case "sticky scheduler loop verified clean" `Quick
+      (fun () ->
+        let b = builder () in
+        let s0 = nsrc b ~name:"in0" [ Value.Int 0 ] in
+        let s1 = nsrc b ~name:"in1" [ Value.Int 1 ] in
+        let f = Func.make ~name:"F" ~arity:1 ~delay:1.0 ~area:1.0
+            (function [ v ] -> v | _ -> assert false)
+        in
+        let sh =
+          add b (Shared { ways = 2; f; sched = Scheduler.Sticky;
+                          hinted = false })
+        in
+        let m = add b (Mux { ways = 2; early = true }) in
+        let e = eb b ~init:[ Value.Int 0 ] () in
+        let fk = add b (Fork 2) in
+        let g = add b
+            (Func
+               (Func.make ~name:"G" ~arity:1 ~delay:1.0 ~area:1.0 (function
+                  | [ v ] -> Value.Int (1 - Value.to_int v)
+                  | _ -> assert false)))
+        in
+        let k = nsink b () in
+        let _ = conn b (s0, Out 0) (sh, In 0) in
+        let _ = conn b (s1, Out 0) (sh, In 1) in
+        let _ = conn b (sh, Out 0) (m, In 0) in
+        let _ = conn b (sh, Out 1) (m, In 1) in
+        let _ = conn b (m, Out 0) (e, In 0) in
+        let _ = conn b (e, Out 0) (fk, In 0) in
+        let _ = conn b (fk, Out 0) (g, In 0) in
+        let _ = conn b (g, Out 0) (m, Sel) in
+        let _ = conn b (fk, Out 1) (k, In 0) in
+        ignore (explore_clean "sticky-loop" b.net));
+    Alcotest.test_case "state cap marks the outcome incomplete" `Quick
+      (fun () ->
+        let net = pipeline_of (fun b -> eb b ()) in
+        let config =
+          { Explore.default_config with Explore.max_states = 3 }
+        in
+        let o = Explore.explore ~config net in
+        Alcotest.(check bool) "incomplete" false o.Explore.complete;
+        (* Incomplete exploration draws no liveness conclusions. *)
+        Alcotest.(check (list string)) "no deadlock claims" []
+          o.Explore.deadlock_states);
+    Alcotest.test_case "choice explosion is rejected with a clear error"
+      `Quick (fun () ->
+        let b = builder () in
+        let rec add_pipes n =
+          if n > 0 then begin
+            let s = nsrc b [ Value.Int n ] in
+            let k = nsink b () in
+            let _ = conn b (s, Out 0) (k, In 0) in
+            add_pipes (n - 1)
+          end
+        in
+        add_pipes 4;
+        (* 4 sources x 4 sinks = 2^8 combinations > 64. *)
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Explore.explore b.net);
+             false
+           with Invalid_argument _ -> true)) ]

@@ -1,0 +1,133 @@
+open Elastic_datapath
+
+let words =
+  [ 0L; 1L; -1L; 0xDEADBEEFL; 0x0123456789ABCDEFL; Int64.min_int;
+    Int64.max_int; 0x8000000000000001L ]
+
+let secded_suite =
+  [ Alcotest.test_case "clean codewords decode to No_error" `Quick
+      (fun () ->
+         List.iter
+           (fun w ->
+              match Secded.decode (Secded.encode w) with
+              | Secded.No_error -> ()
+              | Secded.Corrected _ | Secded.Double_error ->
+                Alcotest.failf "0x%Lx not clean" w)
+           words);
+    Alcotest.test_case "every single-bit error is corrected" `Quick
+      (fun () ->
+         List.iter
+           (fun w ->
+              let cw = Secded.encode w in
+              for bit = 0 to 71 do
+                match Secded.decode (Secded.flip_bit cw bit) with
+                | Secded.Corrected d ->
+                  if not (Int64.equal d w) then
+                    Alcotest.failf "0x%Lx bit %d: corrected to 0x%Lx" w bit d
+                | Secded.No_error ->
+                  Alcotest.failf "0x%Lx bit %d: error not seen" w bit
+                | Secded.Double_error ->
+                  Alcotest.failf "0x%Lx bit %d: declared double" w bit
+              done)
+           words);
+    Alcotest.test_case "every double-bit error is detected, not corrupted"
+      `Quick (fun () ->
+        let w = 0xCAFEBABE12345678L in
+        let cw = Secded.encode w in
+        for i = 0 to 71 do
+          for j = i + 1 to 71 do
+            match Secded.decode (Secded.flip_bit (Secded.flip_bit cw i) j) with
+            | Secded.Double_error -> ()
+            | Secded.No_error ->
+              Alcotest.failf "bits %d,%d: missed double error" i j
+            | Secded.Corrected d ->
+              (* Miscorrection must never silently return wrong data as
+                 right: the SECDED guarantee is detection, so a Corrected
+                 verdict here is a failure. *)
+              Alcotest.failf "bits %d,%d: miscorrected to 0x%Lx" i j d
+          done
+        done);
+    Alcotest.test_case "flip_bit is an involution and validates range"
+      `Quick (fun () ->
+        let cw = Secded.encode 42L in
+        for bit = 0 to 71 do
+          Alcotest.(check bool) "involution" true
+            (Secded.equal_codeword cw
+               (Secded.flip_bit (Secded.flip_bit cw bit) bit))
+        done;
+        Alcotest.check_raises "range"
+          (Invalid_argument "Secded.flip_bit: index out of range") (fun () ->
+            ignore (Secded.flip_bit cw 72))) ]
+
+let qcheck_secded =
+  let open QCheck in
+  [ QCheck_alcotest.to_alcotest
+      (Test.make ~name:"qcheck: random single flips always corrected"
+         ~count:500
+         (pair int64 (int_bound 71))
+         (fun (w, bit) ->
+            match Secded.decode (Secded.flip_bit (Secded.encode w) bit) with
+            | Secded.Corrected d -> Int64.equal d w
+            | Secded.No_error | Secded.Double_error -> false));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"qcheck: encode produces 8 check bits" ~count:200
+         int64 (fun w ->
+           let cw = Secded.encode w in
+           cw.Secded.check >= 0 && cw.Secded.check < 256)) ]
+
+let alu_suite =
+  [ Alcotest.test_case "approx equals exact on logic ops" `Quick (fun () ->
+        List.iter
+          (fun op ->
+             for a = 0 to 255 do
+               let b = (a * 37) land 0xFF in
+               Alcotest.(check int) "logic"
+                 (Alu.exact op a b) (Alu.approx op a b)
+             done)
+          [ Alu.And; Alu.Or; Alu.Xor ]);
+    Alcotest.test_case "approx add wrong exactly on nibble carry" `Quick
+      (fun () ->
+         for a = 0 to 255 do
+           for b = 0 to 255 do
+             let carry_crosses = (a land 0xF) + (b land 0xF) >= 16 in
+             let correct = Alu.approx_correct Alu.Add a b in
+             if carry_crosses = correct then
+               Alcotest.failf "a=%d b=%d: carry=%b correct=%b" a b
+                 carry_crosses correct
+           done
+         done);
+    Alcotest.test_case "operand generator hits the requested error rate"
+      `Quick (fun () ->
+        List.iter
+          (fun pct ->
+             let ops = Alu.operands ~error_rate_pct:pct ~seed:3 2000 in
+             let errs =
+               List.length
+                 (List.filter
+                    (fun (op, a, b) -> not (Alu.approx_correct op a b))
+                    ops)
+             in
+             let measured = 100 * errs / 2000 in
+             Alcotest.(check bool)
+               (Fmt.str "pct %d measured %d" pct measured)
+               true
+               (abs (measured - pct) <= 4))
+          [ 0; 5; 20; 50 ]);
+    Alcotest.test_case "exact add/sub wrap mod 256" `Quick (fun () ->
+        Alcotest.(check int) "add" 4 (Alu.exact Alu.Add 250 10);
+        Alcotest.(check int) "sub" 246 (Alu.exact Alu.Sub 0 10)) ]
+
+let qcheck_alu =
+  let open QCheck in
+  let byte = int_bound 255 in
+  [ QCheck_alcotest.to_alcotest
+      (Test.make ~name:"qcheck: approx_correct <=> approx = exact"
+         ~count:1000
+         (pair byte byte)
+         (fun (a, b) ->
+            List.for_all
+              (fun op ->
+                 Alu.approx_correct op a b = (Alu.approx op a b = Alu.exact op a b))
+              [ Alu.Add; Alu.Sub; Alu.And; Alu.Or; Alu.Xor ])) ]
+
+let suite = secded_suite @ qcheck_secded @ alu_suite @ qcheck_alu

@@ -1,0 +1,246 @@
+open Elastic_netlist
+open Elastic_core
+open Helpers
+
+(* Structural checks on the export backends: the generated text is meant
+   for external tools (synthesis, NuSMV), so the tests verify shape —
+   every node instantiated, every channel declared, balanced blocks,
+   every protocol property present. *)
+
+let count_sub hay needle =
+  let ln = String.length needle and lh = String.length hay in
+  let rec go i acc =
+    if i + ln > lh then acc
+    else if String.sub hay i ln = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let verilog_suite =
+  [ Alcotest.test_case "prelude defines all control primitives" `Quick
+      (fun () ->
+         List.iter
+           (fun m ->
+              Alcotest.(check bool) m true
+                (contains Verilog.prelude ("module " ^ m)))
+           [ "eb "; "eb0 "; "join_ctrl "; "fork_ctrl "; "emux_ctrl ";
+             "shared_ctrl " ]);
+    Alcotest.test_case "prelude modules are balanced" `Quick (fun () ->
+        Alcotest.(check int) "module/endmodule"
+          (count_sub Verilog.prelude "\nmodule ")
+          (count_sub Verilog.prelude "endmodule"));
+    Alcotest.test_case "fig1d top instantiates every primitive" `Quick
+      (fun () ->
+         let h = Figures.fig1d () in
+         let v = Verilog.to_string ~top:"fig1d" h.Figures.net in
+         Alcotest.(check bool) "top module" true
+           (contains v "module fig1d");
+         Alcotest.(check bool) "eb instance" true (contains v "eb #(");
+         Alcotest.(check bool) "emux instance" true
+           (contains v "emux_ctrl #(");
+         Alcotest.(check bool) "shared instance" true
+           (contains v "shared_ctrl #(");
+         Alcotest.(check bool) "fork instance" true
+           (contains v "fork_ctrl #("));
+    Alcotest.test_case "every channel becomes a wire bundle" `Quick
+      (fun () ->
+         let h = Figures.fig1a () in
+         let v = Verilog.to_string ~top:"t" h.Figures.net in
+         List.iter
+           (fun (c : Netlist.channel) ->
+              Alcotest.(check bool)
+                (Fmt.str "wires for channel %d" c.Netlist.ch_id)
+                true
+                (contains v (Fmt.str "ch%d_vp" c.Netlist.ch_id)))
+           (Netlist.channels h.Figures.net));
+    Alcotest.test_case "save writes a file" `Quick (fun () ->
+        let h = Figures.fig1a () in
+        let path = Filename.temp_file "elastic" ".v" in
+        Verilog.save path ~top:"t" h.Figures.net;
+        let ic = open_in path in
+        let size = in_channel_length ic in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check bool) "non-empty" true (size > 1000)) ]
+
+let smv_suite =
+  [ Alcotest.test_case "model has the expected sections" `Quick (fun () ->
+        let h = Figures.fig1d () in
+        let m = Smv.to_string h.Figures.net in
+        List.iter
+          (fun sec ->
+             Alcotest.(check bool) sec true (contains m sec))
+          [ "MODULE main"; "VAR"; "IVAR"; "DEFINE"; "ASSIGN"; "FAIRNESS";
+            "LTLSPEC" ]);
+    Alcotest.test_case "four property families per channel" `Quick
+      (fun () ->
+         let b = builder () in
+         let s = src_counter b () in
+         let e = eb b () in
+         let k = sink b () in
+         let _ = conn b (s, Out 0) (e, In 0) in
+         let _ = conn b (e, Out 0) (k, In 0) in
+         let m = Smv.to_string b.net in
+         (* 2 channels x (retry+ + retry- + 2 invariants + liveness). *)
+         Alcotest.(check int) "LTLSPEC count" 10 (count_sub m "LTLSPEC"));
+    Alcotest.test_case "shared outputs skip forward persistence" `Quick
+      (fun () ->
+         let h = Figures.fig1d () in
+         let m = Smv.to_string h.Figures.net in
+         let shared =
+           match
+             List.find_opt
+               (fun (n : Netlist.node) ->
+                  match n.Netlist.kind with
+                  | Netlist.Shared _ -> true
+                  | _ -> false)
+               (Netlist.nodes h.Figures.net)
+           with
+           | Some n -> n
+           | None -> Alcotest.fail "no shared module"
+         in
+         List.iter
+           (fun (c : Netlist.channel) ->
+              let retry_plus =
+                Fmt.str "LTLSPEC G ((vp_%d & sp_%d" c.Netlist.ch_id
+                  c.Netlist.ch_id
+              in
+              Alcotest.(check bool)
+                (Fmt.str "no retry+ for %s" c.Netlist.ch_name)
+                false (contains m retry_plus))
+           (Netlist.outgoing h.Figures.net shared.Netlist.id));
+    Alcotest.test_case "nondeterministic scheduler gets fairness" `Quick
+      (fun () ->
+         let h = Figures.fig1d () in
+         let m = Smv.to_string h.Figures.net in
+         Alcotest.(check bool) "fairness on predictions" true
+           (contains m "FAIRNESS pred_"));
+    Alcotest.test_case "save writes a file" `Quick (fun () ->
+        let h = Figures.table1 () in
+        let path = Filename.temp_file "elastic" ".smv" in
+        Smv.save path h.Figures.t1_net;
+        let ic = open_in path in
+        let size = in_channel_length ic in
+        close_in ic;
+        Sys.remove path;
+        Alcotest.(check bool) "non-empty" true (size > 500)) ]
+
+let dot_suite =
+  [ Alcotest.test_case "dot output is a digraph with all edges" `Quick
+      (fun () ->
+         let h = Figures.fig1d () in
+         let d = Dot.to_string h.Figures.net in
+         Alcotest.(check bool) "digraph" true (contains d "digraph");
+         Alcotest.(check int) "edge per channel"
+           (Netlist.channel_count h.Figures.net)
+           (count_sub d " -> ")) ]
+
+let blif_suite =
+  [ Alcotest.test_case "blif model has inputs, outputs and latches" `Quick
+      (fun () ->
+         let h = Figures.fig1d () in
+         let b = Blif.to_string ~model:"fig1d" h.Figures.net in
+         Alcotest.(check bool) "model" true (contains b ".model fig1d");
+         Alcotest.(check bool) "inputs" true (contains b ".inputs");
+         Alcotest.(check bool) "selval input" true (contains b "selval_");
+         Alcotest.(check bool) "pred input" true (contains b "pred_");
+         Alcotest.(check bool) "latches" true (count_sub b ".latch" > 4);
+         Alcotest.(check bool) "gates" true (count_sub b ".names" > 20);
+         Alcotest.(check bool) "terminated" true (contains b ".end"));
+    Alcotest.test_case "blif exposes every channel's control bits" `Quick
+      (fun () ->
+         let h = Figures.fig1a () in
+         let b = Blif.to_string ~model:"m" h.Figures.net in
+         List.iter
+           (fun (c : Netlist.channel) ->
+              Alcotest.(check bool)
+                (Fmt.str "vp_%d listed" c.Netlist.ch_id)
+                true
+                (contains b (Fmt.str "vp_%d" c.Netlist.ch_id)))
+           (Netlist.channels h.Figures.net));
+    Alcotest.test_case "blif EB occupancy is a 5-state one-hot" `Quick
+      (fun () ->
+         let b = builder () in
+         let s = src_counter b () in
+         let e = eb b ~name:"thebuf" ~init:[ Elastic_kernel.Value.Int 1 ] () in
+         let k = sink b () in
+         let _ = conn b (s, Out 0) (e, In 0) in
+         let _ = conn b (e, Out 0) (k, In 0) in
+         let t = Blif.to_string ~model:"m" b.net in
+         Alcotest.(check int) "five latches + source retry" 6
+           (count_sub t ".latch");
+         (* initial token: one-hot state 3 set, others clear *)
+         Alcotest.(check bool) "init state" true
+           (contains t "thebuf_s3 re clk 1"));
+    Alcotest.test_case "blif rejects wide multiplexors" `Quick (fun () ->
+        let b = builder () in
+        let sel = src_counter b () in
+        let ss = List.init 3 (fun _ -> src_counter b ()) in
+        let m = add b (Mux { ways = 3; early = true }) in
+        let k = sink b () in
+        let _ = conn b (sel, Out 0) (m, Sel) in
+        List.iteri (fun i s -> ignore (conn b (s, Out 0) (m, In i))) ss;
+        let _ = conn b (m, Out 0) (k, In 0) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Blif.to_string ~model:"m" b.net);
+             false
+           with Invalid_argument _ -> true)) ]
+
+let base_suite = verilog_suite @ smv_suite @ dot_suite @ blif_suite
+
+(* Every instantiated module must be defined in the same output: the
+   generated RTL is self-contained. *)
+let self_contained_suite =
+  [ Alcotest.test_case "generated Verilog is self-contained" `Quick
+      (fun () ->
+        let designs =
+          [ ("fig1d", (Figures.fig1d ~sched:Elastic_sched.Scheduler.Sticky ()).Figures.net);
+            ("table1", (Figures.table1 ()).Figures.t1_net);
+            ("vl",
+             (Examples.vl_stalling
+                ~ops:(Elastic_datapath.Alu.operands ~error_rate_pct:5 ~seed:1 4))
+               .Examples.d_net) ]
+        in
+        List.iter
+          (fun (name, net) ->
+             let v = Verilog.to_string ~top:name net in
+             (* Collect instantiated module names: tokens followed by
+                " #(" or " u_..." at line starts. *)
+             let defined = ref [] in
+             String.split_on_char '\n' v
+             |> List.iter (fun line ->
+                 let line = String.trim line in
+                 if String.length line > 7 && String.sub line 0 7 = "module "
+                 then
+                   let rest = String.sub line 7 (String.length line - 7) in
+                   let stop = ref 0 in
+                   while
+                     !stop < String.length rest
+                     && rest.[!stop] <> ' '
+                     && rest.[!stop] <> '('
+                     && rest.[!stop] <> '#'
+                   do
+                     incr stop
+                   done;
+                   defined := String.sub rest 0 !stop :: !defined);
+             List.iter
+               (fun m ->
+                  if contains v (m ^ " #(") || contains v ("  " ^ m ^ " u_")
+                  then
+                    Alcotest.(check bool)
+                      (Fmt.str "%s: module %s defined" name m)
+                      true
+                      (List.mem m !defined))
+               [ "eb"; "eb0"; "join_ctrl"; "fork_ctrl"; "emux_ctrl";
+                 "shared_ctrl"; "varlat_ctrl"; "sched_static";
+                 "sched_toggle"; "sched_sticky"; "sched_round_robin" ])
+          designs);
+    Alcotest.test_case "sticky scheduler is instantiated in RTL" `Quick
+      (fun () ->
+        let h = Figures.fig1d ~sched:Elastic_sched.Scheduler.Sticky () in
+        let v = Verilog.to_string ~top:"t" h.Figures.net in
+        Alcotest.(check bool) "sched_sticky instance" true
+          (contains v "sched_sticky #(")) ]
+
+let suite = base_suite @ self_contained_suite

@@ -1,0 +1,154 @@
+open Elastic_kernel
+open Elastic_sim
+open Elastic_datapath
+open Elastic_core
+open Helpers
+
+let run_design ?(cycles = 400) (d : Examples.design) =
+  let eng = Engine.create d.Examples.d_net in
+  Engine.run eng cycles;
+  check_no_violations eng;
+  eng
+
+let results eng (d : Examples.design) = sink_values eng d.Examples.d_sink
+
+(* Cycle of the k-th delivery at the sink. *)
+let delivery_cycles eng (d : Examples.design) =
+  List.map
+    (fun e -> e.Transfer.cycle)
+    (Transfer.entries (Engine.sink_stream eng d.Examples.d_sink))
+
+let vl_suite =
+  [ Alcotest.test_case "stalling unit computes exact results" `Quick
+      (fun () ->
+         let ops = Alu.operands ~error_rate_pct:30 ~seed:7 50 in
+         let d = Examples.vl_stalling ~ops in
+         let eng = run_design d in
+         Alcotest.(check (list value)) "all exact"
+           (Examples.vl_reference ops) (results eng d));
+    Alcotest.test_case "speculative unit computes exact results" `Quick
+      (fun () ->
+         let ops = Alu.operands ~error_rate_pct:30 ~seed:7 50 in
+         let d = Examples.vl_speculative ~ops in
+         let eng = run_design d in
+         Alcotest.(check (list value)) "all exact"
+           (Examples.vl_reference ops) (results eng d));
+    Alcotest.test_case "both designs are transfer equivalent" `Quick
+      (fun () ->
+         let ops = Alu.operands ~error_rate_pct:25 ~seed:11 60 in
+         match
+           Equiv.check ~cycles:300
+             (Examples.vl_stalling ~ops).Examples.d_net
+             (Examples.vl_speculative ~ops).Examples.d_net
+         with
+         | Ok _ -> ()
+         | Error m -> Alcotest.fail m);
+    Alcotest.test_case "error-free run loses no cycles" `Quick (fun () ->
+        let n = 60 in
+        let ops = Alu.operands ~error_rate_pct:0 ~seed:3 n in
+        let d = Examples.vl_speculative ~ops in
+        let eng = run_design d in
+        let cycles = delivery_cycles eng d in
+        (* Steady state: one result per cycle. *)
+        let rec max_gap = function
+          | a :: (b :: _ as rest) -> max (b - a) (max_gap rest)
+          | [ _ ] | [] -> 0
+        in
+        Alcotest.(check int) "count" n (List.length cycles);
+        Alcotest.(check bool) "1/cycle after warmup" true
+          (max_gap (List.filteri (fun i _ -> i > 2) cycles) <= 1));
+    Alcotest.test_case "each misprediction costs exactly one cycle" `Quick
+      (fun () ->
+        let mk pct n = Alu.operands ~error_rate_pct:pct ~seed:5 n in
+        let n = 80 in
+        let errors ops =
+          List.length
+            (List.filter
+               (fun (op, a, b) -> not (Alu.approx_correct op a b))
+               ops)
+        in
+        let last_cycle ops =
+          let d = Examples.vl_speculative ~ops in
+          let eng = run_design d in
+          match List.rev (delivery_cycles eng d) with
+          | c :: _ -> c
+          | [] -> Alcotest.fail "no deliveries"
+        in
+        let clean = mk 0 n in
+        let dirty = mk 25 n in
+        Alcotest.(check int) "completion slips by the error count"
+          (last_cycle clean + errors dirty)
+          (last_cycle dirty));
+    Alcotest.test_case "speculative beats stalling on effective cycle time"
+      `Quick (fun () ->
+        let ops = Alu.operands ~error_rate_pct:5 ~seed:9 40 in
+        let ct net = Elastic_netlist.Timing.cycle_time net in
+        let st = ct (Examples.vl_stalling ~ops).Examples.d_net in
+        let sp = ct (Examples.vl_speculative ~ops).Examples.d_net in
+        Alcotest.(check bool)
+          (Fmt.str "spec %.2f < stalling %.2f" sp st)
+          true (sp < st)) ]
+
+let rs_suite =
+  [ Alcotest.test_case "non-speculative adder corrects injected errors"
+      `Quick (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:30 ~seed:13 40 in
+        let d = Examples.rs_nonspeculative ~ops in
+        let eng = run_design d in
+        Alcotest.(check (list value)) "sums"
+          (Examples.rs_reference ops) (results eng d));
+    Alcotest.test_case "speculative adder corrects injected errors" `Quick
+      (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:30 ~seed:13 40 in
+        let d = Examples.rs_speculative ~ops in
+        let eng = run_design d in
+        Alcotest.(check (list value)) "sums"
+          (Examples.rs_reference ops) (results eng d));
+    Alcotest.test_case "error-free: speculation is one stage shallower"
+      `Quick (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:0 ~seed:17 30 in
+        let dn = Examples.rs_nonspeculative ~ops in
+        let ds = Examples.rs_speculative ~ops in
+        let en = run_design dn and es = run_design ds in
+        let first l = match l with c :: _ -> c | [] -> Alcotest.fail "none" in
+        let fn = first (delivery_cycles en dn) in
+        let fs = first (delivery_cycles es ds) in
+        Alcotest.(check bool)
+          (Fmt.str "latency spec %d < nonspec %d" fs fn)
+          true (fs < fn));
+    Alcotest.test_case "one cycle lost per corrected error" `Quick
+      (fun () ->
+        let n = 60 in
+        let clean = Examples.rs_ops ~error_rate_pct:0 ~seed:19 n in
+        let dirty = Examples.rs_ops ~error_rate_pct:20 ~seed:19 n in
+        let errors =
+          List.length
+            (List.filter
+               (fun o -> o.Examples.flip_a <> None || o.Examples.flip_b <> None)
+               dirty)
+        in
+        let last ops =
+          let d = Examples.rs_speculative ~ops in
+          let eng = run_design d in
+          match List.rev (delivery_cycles eng d) with
+          | c :: _ -> c
+          | [] -> Alcotest.fail "no deliveries"
+        in
+        Alcotest.(check int) "slip = error count"
+          (last clean + errors) (last dirty));
+    Alcotest.test_case "area overhead of speculation is on the stage"
+      `Quick (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:0 ~seed:1 10 in
+        let an =
+          Elastic_netlist.Area.total (Examples.rs_nonspeculative ~ops).Examples.d_net
+        in
+        let asp =
+          Elastic_netlist.Area.total (Examples.rs_speculative ~ops).Examples.d_net
+        in
+        let overhead = (asp -. an) /. an in
+        Alcotest.(check bool)
+          (Fmt.str "overhead %.0f%% in the paper's band" (100. *. overhead))
+          true
+          (overhead > 0.15 && overhead < 0.60)) ]
+
+let suite = vl_suite @ rs_suite

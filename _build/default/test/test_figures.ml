@@ -1,0 +1,215 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_sim
+open Elastic_core
+open Helpers
+
+let throughput_of h cycles =
+  let eng = Engine.create h.Figures.net in
+  Engine.run eng cycles;
+  check_no_violations eng;
+  Engine.throughput eng h.Figures.sink
+
+let base_suite =
+  [ Alcotest.test_case "fig1a reaches full throughput" `Quick (fun () ->
+        Alcotest.(check bool) "tput ~1" true
+          (throughput_of (Figures.fig1a ()) 200 >= 0.98));
+    Alcotest.test_case "fig1b: bubble insertion halves throughput" `Quick
+      (fun () ->
+         let t = throughput_of (Figures.fig1b ()) 200 in
+         Alcotest.(check bool)
+           (Fmt.str "tput %.3f ~ 0.5" t)
+           true
+           (t >= 0.48 && t <= 0.52));
+    Alcotest.test_case "fig1c: Shannon restores full throughput" `Quick
+      (fun () ->
+         Alcotest.(check bool) "tput ~1" true
+           (throughput_of (Figures.fig1c ()) 200 >= 0.98));
+    Alcotest.test_case "fig1d perfect oracle keeps full throughput" `Quick
+      (fun () ->
+         Alcotest.(check bool) "tput ~1" true
+           (throughput_of (Figures.fig1d ()) 200 >= 0.98));
+    Alcotest.test_case "fig1d sticky scheduler still correct, slower"
+      `Quick (fun () ->
+        let h = Figures.fig1d ~sched:Scheduler.Sticky () in
+        let t = throughput_of h 300 in
+        Alcotest.(check bool) (Fmt.str "0.3 < %.3f < 1.0" t) true
+          (t > 0.3 && t < 1.0));
+    Alcotest.test_case
+      "static scheduler violates leads-to and starves (4.1.1)" `Quick
+      (fun () ->
+        (* A scheduler that never corrects its prediction deadlocks the
+           loop as soon as the select demands the other channel — the
+           situation constraint (1) of the paper excludes. *)
+        let h = Figures.fig1d ~sched:(Scheduler.Static 0) () in
+        let eng = Engine.create h.Figures.net in
+        Engine.run eng 200;
+        Alcotest.(check bool) "starvation reported" true
+          (Engine.starvation_violations eng <> []));
+    Alcotest.test_case "all variants are transfer equivalent" `Quick
+      (fun () ->
+         let a = Figures.fig1a () in
+         List.iter
+           (fun (name, h) ->
+              match Equiv.check ~cycles:150 a.Figures.net h.Figures.net with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "%s not equivalent: %s" name m)
+           [ ("fig1b", Figures.fig1b ());
+             ("fig1c", Figures.fig1c ());
+             ("fig1d oracle", Figures.fig1d ());
+             ("fig1d sticky", Figures.fig1d ~sched:Scheduler.Sticky ());
+             ("fig1d toggle", Figures.fig1d ~sched:Scheduler.Toggle ());
+             ("fig1d 2bit", Figures.fig1d ~sched:Scheduler.Two_bit ()) ]);
+    Alcotest.test_case "speculation candidates finds the fig1a mux" `Quick
+      (fun () ->
+         let h = Figures.fig1a () in
+         match Speculation.candidates h.Figures.net with
+         | [ c ] ->
+           Alcotest.(check int) "mux id" h.Figures.mux c.Speculation.mux
+         | l ->
+           Alcotest.failf "expected one candidate, got %d" (List.length l));
+    Alcotest.test_case "fig1 cycle times: shannon/speculation shorten the
+clock" `Quick (fun () ->
+        let ct h = Elastic_netlist.Timing.cycle_time h.Figures.net in
+        let a = ct (Figures.fig1a ()) in
+        let c = ct (Figures.fig1c ()) in
+        let d = ct (Figures.fig1d ()) in
+        Alcotest.(check bool)
+          (Fmt.str "a=%.1f > c=%.1f" a c)
+          true (c < a);
+        Alcotest.(check bool)
+          (Fmt.str "a=%.1f > d=%.1f" a d)
+          true (d < a));
+    Alcotest.test_case "fig1 throughput bounds from the marked graph"
+      `Quick (fun () ->
+        let bound h = Elastic_perf.Marked_graph.throughput_bound h.Figures.net in
+        Alcotest.(check bool) "fig1a = 1" true
+          (abs_float (bound (Figures.fig1a ()) -. 1.0) < 1e-6);
+        Alcotest.(check bool) "fig1b = 1/2" true
+          (abs_float (bound (Figures.fig1b ()) -. 0.5) < 1e-6);
+        Alcotest.(check bool) "fig1c = 1" true
+          (abs_float (bound (Figures.fig1c ()) -. 1.0) < 1e-6));
+    Alcotest.test_case "Table 1 trace reproduces the paper cycle-exactly"
+      `Quick (fun () ->
+        let rows = Figures.table1_trace (Figures.table1 ()) in
+        let expect =
+          (* One divergence from the printed table: the paper's EBin shows
+             G at cycle 6, inconsistent with its own Sel row (Sel = 0
+             selects channel 0, whose token is F; G is killed at cycle 6
+             as Fout1/Fin1 show).  We reproduce the consistent value F. *)
+          [ ("Fin0", [ "A"; "-"; "C"; "-"; "E"; "F"; "F" ]);
+            ("Fout0", [ "A"; "-"; "C"; "-"; "E"; "*"; "F" ]);
+            ("Fin1", [ "-"; "B"; "D"; "D"; "-"; "G"; "-" ]);
+            ("Fout1", [ "-"; "B"; "*"; "D"; "-"; "G"; "-" ]);
+            ("Sel", [ "0"; "1"; "1"; "1"; "0"; "0"; "0" ]);
+            ("Sched", [ "0"; "1"; "0"; "1"; "0"; "1"; "0" ]);
+            ("EBin", [ "A"; "B"; "*"; "D"; "E"; "*"; "F" ]) ]
+        in
+        List.iter2
+          (fun (label, cells) row ->
+             Alcotest.(check string) "label" label row.Figures.label;
+             Alcotest.(check (list string)) label cells row.Figures.cells)
+          expect rows);
+    Alcotest.test_case "Table 1 delivers A B D E F to the loop" `Quick
+      (fun () ->
+        let h = Figures.table1 () in
+        let eng = Engine.create h.Figures.t1_net in
+        Engine.run eng 12;
+        check_no_violations eng;
+        Alcotest.(check (list value)) "stream"
+          [ Value.Str "t0"; Value.Str "A"; Value.Str "B"; Value.Str "D";
+            Value.Str "E"; Value.Str "F" ]
+          (sink_values eng h.Figures.t1_sink)) ]
+
+(* The Table 1 system is not just hand-built: applying the Sec. 4 recipe
+   to its non-speculative ancestor produces a design with the identical
+   cycle-exact trace, which is the paper's whole point. *)
+let derived_table1 =
+  [ Alcotest.test_case
+      "speculate on the non-speculative ancestor reproduces Table 1"
+      `Quick (fun () ->
+        let open Elastic_netlist in
+        let str s = Value.Str s in
+        let net = Netlist.empty in
+        let net, in0 =
+          Netlist.add_node ~name:"in0" net
+            (Netlist.Source
+               (Netlist.Stream
+                  [ str "A"; str "x0"; str "C"; str "E"; str "F" ]))
+        in
+        let net, in1 =
+          Netlist.add_node ~name:"in1" net
+            (Netlist.Source
+               (Netlist.Stream
+                  [ str "x1"; str "B"; str "D"; str "x2"; str "G" ]))
+        in
+        let net, mux =
+          Netlist.add_node ~name:"mux" net
+            (Netlist.Mux { ways = 2; early = false })
+        in
+        let f =
+          Func.make ~name:"F" ~arity:1 ~delay:5.0 ~area:80.0 (function
+            | [ v ] -> v
+            | _ -> assert false)
+        in
+        let net, fn = Netlist.add_node ~name:"F" net (Netlist.Func f) in
+        let g =
+          Func.make ~name:"Gt" ~arity:1 ~delay:4.0 ~area:60.0 (function
+            | [ Value.Str "A" ] -> Value.Int 1
+            | [ Value.Str "B" ] -> Value.Int 1
+            | [ _ ] -> Value.Int 0
+            | _ -> assert false)
+        in
+        let net, gn = Netlist.add_node ~name:"G" net (Netlist.Func g) in
+        let net, eb =
+          Netlist.add_node ~name:"EB" net
+            (Netlist.Buffer { buffer = Netlist.Eb; init = [ str "t0" ] })
+        in
+        let net, fk = Netlist.add_node ~name:"fk" net (Netlist.Fork 2) in
+        let net, k =
+          Netlist.add_node ~name:"out" net (Netlist.Sink Netlist.Always_ready)
+        in
+        let net, _ = Netlist.connect net (in0, Netlist.Out 0) (mux, Netlist.In 0) in
+        let net, _ = Netlist.connect net (in1, Netlist.Out 0) (mux, Netlist.In 1) in
+        let net, _ = Netlist.connect net (mux, Netlist.Out 0) (fn, Netlist.In 0) in
+        let net, _ = Netlist.connect net (fn, Netlist.Out 0) (eb, Netlist.In 0) in
+        let net, _ = Netlist.connect net (eb, Netlist.Out 0) (fk, Netlist.In 0) in
+        let net, _ = Netlist.connect net (fk, Netlist.Out 0) (gn, Netlist.In 0) in
+        let net, _ = Netlist.connect net (gn, Netlist.Out 0) (mux, Netlist.Sel) in
+        let net, _ = Netlist.connect net (fk, Netlist.Out 1) (k, Netlist.In 0) in
+        Netlist.validate_exn net;
+        (* Steps 2-4 of Sec. 4 with the Table 1 scheduler. *)
+        let r = Speculation.speculate net ~mux ~sched:Scheduler.Toggle in
+        let net = r.Speculation.net in
+        let sh = r.Speculation.shared in
+        let ch n p =
+          (Option.get (Elastic_netlist.Netlist.channel_at net n p))
+            .Elastic_netlist.Netlist.ch_id
+        in
+        let h =
+          { Figures.t1_net = net;
+            fin0 = ch sh (Netlist.In 0);
+            fin1 = ch sh (Netlist.In 1);
+            fout0 = ch sh (Netlist.Out 0);
+            fout1 = ch sh (Netlist.Out 1);
+            sel_ch = ch r.Speculation.mux Netlist.Sel;
+            ebin = ch r.Speculation.mux (Netlist.Out 0);
+            t1_shared = sh; t1_sink = k }
+        in
+        let rows = Figures.table1_trace h in
+        let expect =
+          [ ("Fin0", [ "A"; "-"; "C"; "-"; "E"; "F"; "F" ]);
+            ("Fout0", [ "A"; "-"; "C"; "-"; "E"; "*"; "F" ]);
+            ("Fin1", [ "-"; "B"; "D"; "D"; "-"; "G"; "-" ]);
+            ("Fout1", [ "-"; "B"; "*"; "D"; "-"; "G"; "-" ]);
+            ("Sel", [ "0"; "1"; "1"; "1"; "0"; "0"; "0" ]);
+            ("Sched", [ "0"; "1"; "0"; "1"; "0"; "1"; "0" ]);
+            ("EBin", [ "A"; "B"; "*"; "D"; "E"; "*"; "F" ]) ]
+        in
+        List.iter2
+          (fun (label, cells) row ->
+             Alcotest.(check string) "label" label row.Figures.label;
+             Alcotest.(check (list string)) label cells row.Figures.cells)
+          expect rows) ]
+
+let suite = base_suite @ derived_table1

@@ -1,0 +1,234 @@
+open Elastic_kernel
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let check_value = Alcotest.check value
+
+let value_suite =
+  let open Value in
+  [ Alcotest.test_case "equal distinguishes constructors" `Quick (fun () ->
+        Alcotest.(check bool) "int/word" false (equal (Int 1) (Word 1L));
+        Alcotest.(check bool) "same" true (equal (Int 3) (Int 3));
+        Alcotest.(check bool) "tuple" true
+          (equal (Tuple [ Int 1; Bool true ]) (Tuple [ Int 1; Bool true ]));
+        Alcotest.(check bool) "tuple len" false
+          (equal (Tuple [ Int 1 ]) (Tuple [ Int 1; Int 2 ])));
+    Alcotest.test_case "compare is a total order" `Quick (fun () ->
+        let vs =
+          [ Unit; Bool false; Bool true; Int (-1); Int 5; Word 3L;
+            Str "a"; Tuple [ Int 1 ] ]
+        in
+        List.iter
+          (fun a ->
+             List.iter
+               (fun b ->
+                  let c1 = compare a b and c2 = compare b a in
+                  Alcotest.(check int) "antisym" (Stdlib.compare c1 0)
+                    (Stdlib.compare 0 c2))
+               vs)
+          vs);
+    Alcotest.test_case "projections" `Quick (fun () ->
+        Alcotest.(check int) "to_int" 7 (to_int (Int 7));
+        Alcotest.(check int) "bool to_int" 1 (to_int (Bool true));
+        Alcotest.(check int64) "to_word widen" 9L (to_word (Int 9));
+        Alcotest.(check bool) "to_bool int" true (to_bool (Int 2));
+        check_value "tuple_nth" (Int 2) (tuple_nth (Tuple [ Int 1; Int 2 ]) 1));
+    Alcotest.test_case "projection failures raise" `Quick (fun () ->
+        Alcotest.check_raises "to_int of word"
+          (Invalid_argument "Value.to_int: 0x5") (fun () ->
+            ignore (to_int (Word 5L)));
+        Alcotest.check_raises "tuple_nth range"
+          (Invalid_argument "Value.tuple_nth 3: (1)") (fun () ->
+            ignore (tuple_nth (Tuple [ Int 1 ]) 3))) ]
+
+let mk ?(vp = false) ?(sp = false) ?(vm = false) ?(sm = false) ?d () =
+  { Signal.v_plus = vp; s_plus = sp; v_minus = vm; s_minus = sm; data = d }
+
+let signal_suite =
+  [ Alcotest.test_case "handshake states" `Quick (fun () ->
+        let st = Signal.handshake_state in
+        Alcotest.(check string) "transfer" "T"
+          (Fmt.str "%a" Signal.pp_handshake_state
+             (st ~valid:true ~stop:false));
+        Alcotest.(check string) "idle" "I"
+          (Fmt.str "%a" Signal.pp_handshake_state
+             (st ~valid:false ~stop:true));
+        Alcotest.(check string) "retry" "R"
+          (Fmt.str "%a" Signal.pp_handshake_state (st ~valid:true ~stop:true)));
+    Alcotest.test_case "plain transfer" `Quick (fun () ->
+        let e = Signal.events (mk ~vp:true ~d:(Value.Int 1) ()) in
+        Alcotest.(check bool) "token_out" true e.Signal.token_out;
+        Alcotest.(check bool) "token_in" true e.Signal.token_in;
+        Alcotest.(check bool) "no cancel" false e.Signal.cancelled);
+    Alcotest.test_case "stalled token stays" `Quick (fun () ->
+        let e = Signal.events (mk ~vp:true ~sp:true ~d:(Value.Int 1) ()) in
+        Alcotest.(check bool) "token_out" false e.Signal.token_out;
+        Alcotest.(check bool) "token_in" false e.Signal.token_in);
+    Alcotest.test_case "anti-token transfer" `Quick (fun () ->
+        let e = Signal.events (mk ~vm:true ()) in
+        Alcotest.(check bool) "anti_out" true e.Signal.anti_out;
+        Alcotest.(check bool) "anti_in" true e.Signal.anti_in);
+    Alcotest.test_case "stalled anti-token stays" `Quick (fun () ->
+        let e = Signal.events (mk ~vm:true ~sm:true ()) in
+        Alcotest.(check bool) "anti_out" false e.Signal.anti_out;
+        Alcotest.(check bool) "anti_in" false e.Signal.anti_in);
+    Alcotest.test_case "cancellation annihilates both" `Quick (fun () ->
+        (* Token and anti-token meet: both leave, neither arrives, stops
+           are overridden (the paper's Invariant). *)
+        let e =
+          Signal.events
+            (mk ~vp:true ~sp:true ~vm:true ~sm:true ~d:(Value.Int 1) ())
+        in
+        Alcotest.(check bool) "cancelled" true e.Signal.cancelled;
+        Alcotest.(check bool) "token_out" true e.Signal.token_out;
+        Alcotest.(check bool) "token_in" false e.Signal.token_in;
+        Alcotest.(check bool) "anti_out" true e.Signal.anti_out;
+        Alcotest.(check bool) "anti_in" false e.Signal.anti_in);
+    Alcotest.test_case "event semantics, exhaustively over all drives"
+      `Quick (fun () ->
+        (* For each of the 16 control combinations, the boundary events
+           obey: a delivered token left its sender; a delivered anti-token
+           left its receiver; cancellation consumes both and delivers
+           neither. *)
+        List.iter
+          (fun (vp, sp, vm, sm) ->
+             let d = if vp then Some (Value.Int 0) else None in
+             let e =
+               Signal.events
+                 { Signal.v_plus = vp; s_plus = sp; v_minus = vm;
+                   s_minus = sm; data = d }
+             in
+             if e.Signal.token_in && not e.Signal.token_out then
+               Alcotest.fail "token_in without token_out";
+             if e.Signal.anti_in && not e.Signal.anti_out then
+               Alcotest.fail "anti_in without anti_out";
+             if e.Signal.cancelled then begin
+               if not (e.Signal.token_out && e.Signal.anti_out) then
+                 Alcotest.fail "cancellation must consume both";
+               if e.Signal.token_in || e.Signal.anti_in then
+                 Alcotest.fail "cancellation must deliver neither"
+             end;
+             if e.Signal.token_out && not vp then
+               Alcotest.fail "token_out without a token";
+             if e.Signal.anti_out && not vm then
+               Alcotest.fail "anti_out without an anti-token";
+             if vp && vm && not e.Signal.cancelled then
+               Alcotest.fail "meeting pair must cancel")
+          (List.concat_map
+             (fun vp ->
+                List.concat_map
+                  (fun sp ->
+                     List.concat_map
+                       (fun vm ->
+                          List.map (fun sm -> (vp, sp, vm, sm))
+                            [ false; true ])
+                       [ false; true ])
+                  [ false; true ])
+             [ false; true ]));
+    Alcotest.test_case "resolve forces stops low on cancellation" `Quick
+      (fun () ->
+         let s = Signal.resolve (mk ~vp:true ~sp:true ~vm:true ~sm:true ()) in
+         Alcotest.(check bool) "s_plus" false s.Signal.s_plus;
+         Alcotest.(check bool) "s_minus" false s.Signal.s_minus) ]
+
+let transfer_suite =
+  [ Alcotest.test_case "record and compare" `Quick (fun () ->
+        let a =
+          Transfer.record
+            (Transfer.record Transfer.empty ~cycle:0 (Value.Int 1))
+            ~cycle:3 (Value.Int 2)
+        in
+        let b =
+          Transfer.record
+            (Transfer.record Transfer.empty ~cycle:7 (Value.Int 1))
+            ~cycle:9 (Value.Int 2)
+        in
+        Alcotest.(check bool) "transfer equivalent despite cycles" true
+          (Transfer.equivalent a b);
+        Alcotest.(check int) "length" 2 (Transfer.length a));
+    Alcotest.test_case "inequivalent on reorder" `Quick (fun () ->
+        let mk vs =
+          List.fold_left
+            (fun acc (c, v) -> Transfer.record acc ~cycle:c v)
+            Transfer.empty vs
+        in
+        let a = mk [ (0, Value.Int 1); (1, Value.Int 2) ] in
+        let b = mk [ (0, Value.Int 2); (1, Value.Int 1) ] in
+        Alcotest.(check bool) "not equivalent" false
+          (Transfer.equivalent a b));
+    Alcotest.test_case "prefix equivalence" `Quick (fun () ->
+        let mk vs =
+          List.fold_left
+            (fun acc v -> Transfer.record acc ~cycle:0 (Value.Int v))
+            Transfer.empty vs
+        in
+        Alcotest.(check bool) "prefix" true
+          (Transfer.prefix_equivalent (mk [ 1; 2 ]) (mk [ 1; 2; 3 ]));
+        Alcotest.(check bool) "longer first" true
+          (Transfer.prefix_equivalent (mk [ 1; 2; 3 ]) (mk [ 1; 2 ]));
+        Alcotest.(check bool) "mismatch" false
+          (Transfer.prefix_equivalent (mk [ 1; 9 ]) (mk [ 1; 2; 3 ]))) ]
+
+let run_monitor ?check_forward_persistence ?liveness_bound steps =
+  let m =
+    Protocol.create ?check_forward_persistence ?liveness_bound
+      ~name:"test" ()
+  in
+  List.iteri (fun cycle s -> Protocol.step m ~cycle s) steps;
+  Protocol.violations m
+
+let protocol_suite =
+  [ Alcotest.test_case "clean retry sequence passes" `Quick (fun () ->
+        let d = Value.Int 1 in
+        let vs =
+          run_monitor
+            [ mk ~vp:true ~sp:true ~d ();
+              mk ~vp:true ~sp:true ~d ();
+              mk ~vp:true ~d () ]
+        in
+        Alcotest.(check int) "no violations" 0 (List.length vs));
+    Alcotest.test_case "withdrawn token flagged" `Quick (fun () ->
+        let vs =
+          run_monitor [ mk ~vp:true ~sp:true ~d:(Value.Int 1) (); mk () ]
+        in
+        Alcotest.(check bool) "retry+ violation" true
+          (List.exists (fun v -> v.Protocol.property = "retry+") vs));
+    Alcotest.test_case "changed data during retry flagged" `Quick (fun () ->
+        let vs =
+          run_monitor
+            [ mk ~vp:true ~sp:true ~d:(Value.Int 1) ();
+              mk ~vp:true ~sp:true ~d:(Value.Int 2) () ]
+        in
+        Alcotest.(check bool) "retry+ violation" true
+          (List.exists (fun v -> v.Protocol.property = "retry+") vs));
+    Alcotest.test_case "non-persistent channels exempt" `Quick (fun () ->
+        let vs =
+          run_monitor ~check_forward_persistence:false
+            [ mk ~vp:true ~sp:true ~d:(Value.Int 1) (); mk () ]
+        in
+        Alcotest.(check int) "no violations" 0 (List.length vs));
+    Alcotest.test_case "withdrawn anti-token flagged" `Quick (fun () ->
+        let vs = run_monitor [ mk ~vm:true ~sm:true (); mk () ] in
+        Alcotest.(check bool) "retry- violation" true
+          (List.exists (fun v -> v.Protocol.property = "retry-") vs));
+    Alcotest.test_case "kill-and-stop invariant flagged" `Quick (fun () ->
+        let vs = run_monitor [ mk ~vm:true ~sp:true () ] in
+        Alcotest.(check bool) "invariant violation" true
+          (List.exists (fun v -> v.Protocol.property = "invariant") vs));
+    Alcotest.test_case "liveness watchdog fires" `Quick (fun () ->
+        let stalled = mk ~vp:true ~sp:true ~d:(Value.Int 1) () in
+        let vs =
+          run_monitor ~liveness_bound:5 (List.init 6 (fun _ -> stalled))
+        in
+        Alcotest.(check bool) "liveness violation" true
+          (List.exists (fun v -> v.Protocol.property = "liveness") vs));
+    Alcotest.test_case "watchdog resets on transfer" `Quick (fun () ->
+        let stalled = mk ~vp:true ~sp:true ~d:(Value.Int 1) () in
+        let moving = mk ~vp:true ~d:(Value.Int 1) () in
+        let steps =
+          List.concat
+            [ List.init 4 (fun _ -> stalled); [ moving ];
+              List.init 4 (fun _ -> stalled) ]
+        in
+        let vs = run_monitor ~liveness_bound:5 steps in
+        Alcotest.(check int) "no violations" 0 (List.length vs)) ]

@@ -1,0 +1,148 @@
+open Elastic_kernel
+open Elastic_netlist
+open Helpers
+
+let suite =
+  [ Alcotest.test_case "connect rejects occupied ports" `Quick (fun () ->
+        let b = builder () in
+        let s = src_counter b () in
+        let k1 = sink b () in
+        let k2 = sink b () in
+        let _ = conn b (s, Out 0) (k1, In 0) in
+        Alcotest.(check bool) "raises" true
+          (try
+             let _ = conn b (s, Out 0) (k2, In 0) in
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "connect rejects wrong directions" `Quick (fun () ->
+        let b = builder () in
+        let s = src_counter b () in
+        let k = sink b () in
+        Alcotest.(check bool) "in as src" true
+          (try
+             let _ = conn b (k, In 0) (s, Out 0) in
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "validate reports unconnected ports" `Quick
+      (fun () ->
+         let b = builder () in
+         let _ = src_counter b () in
+         let problems = Netlist.validate b.net in
+         Alcotest.(check bool) "has problem" true (problems <> []));
+    Alcotest.test_case "validate passes a complete pipeline" `Quick
+      (fun () ->
+         let b = builder () in
+         let s = src_counter b () in
+         let e = eb b ~init:[ Value.Int 0 ] () in
+         let k = sink b () in
+         let _ = conn b (s, Out 0) (e, In 0) in
+         let _ = conn b (e, Out 0) (k, In 0) in
+         Alcotest.(check (list string)) "clean" [] (Netlist.validate b.net));
+    Alcotest.test_case "mux requires select" `Quick (fun () ->
+        let b = builder () in
+        let s0 = src_counter b () in
+        let s1 = src_counter b () in
+        let m = add b (Mux { ways = 2; early = false }) in
+        let k = sink b () in
+        let _ = conn b (s0, Out 0) (m, In 0) in
+        let _ = conn b (s1, Out 0) (m, In 1) in
+        let _ = conn b (m, Out 0) (k, In 0) in
+        Alcotest.(check bool) "sel missing reported" true
+          (List.exists (fun p -> contains p "sel") (Netlist.validate b.net)));
+    Alcotest.test_case "set_dst moves a channel" `Quick (fun () ->
+        let b = builder () in
+        let s = src_counter b () in
+        let k1 = sink b () in
+        let k2 = sink b () in
+        let c = conn b (s, Out 0) (k1, In 0) in
+        b.net <- Netlist.set_dst b.net c (k2, In 0);
+        let ch = Netlist.channel b.net c in
+        Alcotest.(check int) "re-pointed" k2 ch.dst.ep_node;
+        (* k1 now dangles; validation must notice. *)
+        Alcotest.(check bool) "k1 unconnected" true
+          (Netlist.validate b.net <> []));
+    Alcotest.test_case "remove_node refuses while attached" `Quick
+      (fun () ->
+         let b = builder () in
+         let s = src_counter b () in
+         let k = sink b () in
+         let c = conn b (s, Out 0) (k, In 0) in
+         Alcotest.(check bool) "refuses" true
+           (try
+              b.net <- Netlist.remove_node b.net s;
+              false
+            with Invalid_argument _ -> true);
+         b.net <- Netlist.remove_channel b.net c;
+         b.net <- Netlist.remove_node b.net s;
+         Alcotest.(check int) "one node left" 1 (Netlist.node_count b.net));
+    Alcotest.test_case "area: eb0 wider than eb control but fewer bits"
+      `Quick (fun () ->
+        let b = builder () in
+        let s = src_counter b () in
+        let e1 = eb b () in
+        let k = sink b () in
+        let _ = conn b ~width:32 (s, Out 0) (e1, In 0) in
+        let _ = conn b ~width:32 (e1, Out 0) (k, In 0) in
+        let a_eb = Area.total b.net in
+        let b2 = builder () in
+        let s2 = src_counter b2 () in
+        let e2 = eb0 b2 () in
+        let k2 = sink b2 () in
+        let _ = conn b2 ~width:32 (s2, Out 0) (e2, In 0) in
+        let _ = conn b2 ~width:32 (e2, Out 0) (k2, In 0) in
+        let a_eb0 = Area.total b2.net in
+        Alcotest.(check bool) "both positive" true
+          (a_eb > 0.0 && a_eb0 > 0.0));
+    Alcotest.test_case "timing: deeper logic means longer cycle" `Quick
+      (fun () ->
+        let pipeline depth =
+          let b = builder () in
+          let s = src_counter b () in
+          let e1 = eb b ~init:[ Value.Int 0 ] () in
+          let _ = conn b (s, Out 0) (e1, In 0) in
+          let last =
+            List.fold_left
+              (fun prev i ->
+                 let f =
+                   add b
+                     (Func
+                        (Func.make ~name:(Fmt.str "f%d" i) ~arity:1
+                           ~delay:5.0 ~area:10.0 (fun vs -> List.hd vs)))
+                 in
+                 let _ = conn b (prev, Out 0) (f, In 0) in
+                 f)
+              e1
+              (List.init depth (fun i -> i))
+          in
+          let k = sink b () in
+          let _ = conn b (last, Out 0) (k, In 0) in
+          Timing.cycle_time b.net
+        in
+        Alcotest.(check bool) "monotone" true (pipeline 3 > pipeline 1));
+    Alcotest.test_case "timing: eb0 chains lengthen backward path" `Quick
+      (fun () ->
+        let chain mk =
+          let b = builder () in
+          let s = src_counter b () in
+          let n1 = mk b in
+          let n2 = mk b in
+          let k = sink b () in
+          let _ = conn b (s, Out 0) (n1, In 0) in
+          let _ = conn b (n1, Out 0) (n2, In 0) in
+          let _ = conn b (n2, Out 0) (k, In 0) in
+          match Timing.analyze b.net with
+          | Ok r -> r.Timing.backward_delay
+          | Error e -> Alcotest.fail e
+        in
+        let bwd_eb = chain (fun b -> eb b ()) in
+        let bwd_eb0 = chain (fun b -> eb0 b ()) in
+        Alcotest.(check bool) "eb0 backward chain longer" true
+          (bwd_eb0 > bwd_eb));
+    Alcotest.test_case "dot export mentions every node" `Quick (fun () ->
+        let b = builder () in
+        let s = src_counter b ~name:"my_source" () in
+        let k = sink b ~name:"my_sink" () in
+        let _ = conn b (s, Out 0) (k, In 0) in
+        let dot = Dot.to_string b.net in
+        Alcotest.(check bool) "source" true (contains dot "my_source");
+        Alcotest.(check bool) "sink" true (contains dot "my_sink")) ]

@@ -1,0 +1,120 @@
+open Elastic_kernel
+open Elastic_netlist
+open Elastic_perf
+open Helpers
+
+(* A self-loop through [n_ebs] buffers holding [tokens] total, plus an
+   observation fork to a sink. *)
+let loop ~tokens ~n_ebs =
+  assert (n_ebs >= 1 && tokens <= n_ebs * 2);
+  let b = builder () in
+  let f = add b (Func (Func.inc ~step:1 ())) in
+  let fk = add b (Fork 2) in
+  let k = sink b () in
+  let rec chain prev i remaining =
+    if i = n_ebs then prev
+    else begin
+      let take = min 2 remaining in
+      let e =
+        eb b ~init:(List.init take (fun j -> Value.Int j)) ()
+      in
+      let _ = conn b (prev, Out 0) (e, In 0) in
+      chain e (i + 1) (remaining - take)
+    end
+  in
+  let last = chain f 0 tokens in
+  let _ = conn b (last, Out 0) (fk, In 0) in
+  let _ = conn b (fk, Out 0) (f, In 0) in
+  let _ = conn b (fk, Out 1) (k, In 0) in
+  (b.net, k)
+
+let suite =
+  [ Alcotest.test_case "feed-forward pipelines have bound 1" `Quick
+      (fun () ->
+         let b = builder () in
+         let s = src_counter b () in
+         let e1 = eb b () in
+         let e2 = eb b ~init:[ Value.Int 0 ] () in
+         let k = sink b () in
+         let _ = conn b (s, Out 0) (e1, In 0) in
+         let _ = conn b (e1, Out 0) (e2, In 0) in
+         let _ = conn b (e2, Out 0) (k, In 0) in
+         Alcotest.(check (float 1e-9)) "bound" 1.0
+           (Marked_graph.throughput_bound b.net));
+    Alcotest.test_case "bound equals tokens/latency on simple loops"
+      `Quick (fun () ->
+        List.iter
+          (fun (tokens, n_ebs) ->
+             let net, _ = loop ~tokens ~n_ebs in
+             let expected =
+               min 1.0 (float_of_int tokens /. float_of_int n_ebs)
+             in
+             Alcotest.(check (float 1e-6))
+               (Fmt.str "%d tokens / %d EBs" tokens n_ebs)
+               expected
+               (Marked_graph.throughput_bound net))
+          [ (1, 1); (1, 2); (1, 3); (2, 3); (2, 4); (3, 4); (2, 2) ]);
+    Alcotest.test_case "simulated throughput matches the bound on loops"
+      `Quick (fun () ->
+        List.iter
+          (fun (tokens, n_ebs) ->
+             let net, k = loop ~tokens ~n_ebs in
+             let eng = run_net ~cycles:240 net in
+             check_no_violations eng;
+             let measured = Elastic_sim.Engine.throughput eng k in
+             let bound = Marked_graph.throughput_bound net in
+             Alcotest.(check bool)
+               (Fmt.str "%d/%d: %.3f vs bound %.3f" tokens n_ebs measured
+                  bound)
+               true
+               (abs_float (measured -. bound) < 0.05))
+          [ (1, 1); (1, 2); (2, 3); (1, 4) ]);
+    Alcotest.test_case "critical cycle reports the right ratio" `Quick
+      (fun () ->
+        let net, _ = loop ~tokens:1 ~n_ebs:3 in
+        match Marked_graph.critical_cycle net with
+        | Some c ->
+          Alcotest.(check int) "tokens" 1 c.Marked_graph.tokens;
+          Alcotest.(check int) "latency" 3 c.Marked_graph.latency;
+          Alcotest.(check (float 1e-6)) "ratio" (1.0 /. 3.0)
+            c.Marked_graph.ratio
+        | None -> Alcotest.fail "no cycle found");
+    Alcotest.test_case "zero-latency cycle rejected" `Quick (fun () ->
+        (* A purely combinational loop: F -> fork -> F. *)
+        let b = builder () in
+        let f = add b (Func (Func.add_int ~arity:2 ())) in
+        let fk = add b (Fork 2) in
+        let s = src_counter b () in
+        let k = sink b () in
+        let _ = conn b (s, Out 0) (f, In 0) in
+        let _ = conn b (f, Out 0) (fk, In 0) in
+        let _ = conn b (fk, Out 0) (f, In 1) in
+        let _ = conn b (fk, Out 1) (k, In 0) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Marked_graph.throughput_bound b.net);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "effective cycle time = cycle time / bound" `Quick
+      (fun () ->
+        let net, _ = loop ~tokens:1 ~n_ebs:2 in
+        let ct = Timing.cycle_time net in
+        Alcotest.(check (float 1e-6)) "eff" (ct /. 0.5)
+          (Marked_graph.effective_cycle_time net));
+    Alcotest.test_case "varlat counts as one cycle of latency" `Quick
+      (fun () ->
+        (* source -> varlat -> sink has no cycle: bound 1. *)
+        let b = builder () in
+        let s = src_counter b () in
+        let v =
+          add b
+            (Varlat
+               { fast = Func.inc ~step:0 (); slow = Func.inc ~step:0 ();
+                 err = Func.make ~name:"never" ~arity:1 ~delay:0.1
+                     ~area:1.0 (fun _ -> Value.Int 0) })
+        in
+        let k = sink b () in
+        let _ = conn b (s, Out 0) (v, In 0) in
+        let _ = conn b (v, Out 0) (k, In 0) in
+        Alcotest.(check (float 1e-9)) "bound" 1.0
+          (Marked_graph.throughput_bound b.net)) ]

@@ -1,0 +1,187 @@
+open Elastic_sched
+
+let obs ?(in_valid = [| true; true |]) ?(out_valid = [| false; false |])
+    ?(out_stop = [| false; false |]) ?(out_kill = [| false; false |])
+    ?served ?hint () =
+  { Scheduler.in_valid; out_valid; out_stop; out_kill; served; hint }
+
+(* Drive a scheduler through a cycle list; each entry is [`Serve g] (the
+   predicted channel's token went through) or [`Retry] (the predicted
+   output stalled: misprediction). *)
+let drive sched outcomes =
+  List.map
+    (fun outcome ->
+       let g = Scheduler.predict sched in
+       (match outcome with
+        | `Serve ->
+          let out_valid = Array.make 2 false in
+          out_valid.(g) <- true;
+          Scheduler.observe sched (obs ~out_valid ~served:g ())
+        | `Retry ->
+          let out_valid = Array.make 2 false in
+          out_valid.(g) <- true;
+          let out_stop = Array.make 2 false in
+          out_stop.(g) <- true;
+          Scheduler.observe sched (obs ~out_valid ~out_stop ())
+        | `Idle -> Scheduler.observe sched (obs ()));
+       g)
+    outcomes
+
+let suite =
+  [ Alcotest.test_case "static always predicts its channel" `Quick
+      (fun () ->
+         let s = Scheduler.make ~ways:2 (Scheduler.Static 1) in
+         let preds = drive s [ `Serve; `Retry; `Idle; `Serve ] in
+         Alcotest.(check (list int)) "all ones" [ 1; 1; 1; 1 ] preds);
+    Alcotest.test_case "static validates range" `Quick (fun () ->
+        Alcotest.check_raises "bad channel"
+          (Invalid_argument "Scheduler.make: Static 3 with 2 ways")
+          (fun () -> ignore (Scheduler.make ~ways:2 (Scheduler.Static 3))));
+    Alcotest.test_case "toggle alternates every cycle" `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 Scheduler.Toggle in
+        let preds = drive s [ `Serve; `Serve; `Serve; `Serve; `Serve ] in
+        Alcotest.(check (list int)) "alternation" [ 0; 1; 0; 1; 0 ] preds);
+    Alcotest.test_case "sticky switches only on retry" `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 Scheduler.Sticky in
+        let preds = drive s [ `Serve; `Serve; `Retry; `Serve; `Serve ] in
+        Alcotest.(check (list int)) "switch after retry" [ 0; 0; 0; 1; 1 ]
+          preds;
+        Alcotest.(check int) "one misprediction" 1
+          (Scheduler.mispredictions s));
+    Alcotest.test_case "round robin advances on serve" `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 Scheduler.Round_robin in
+        let preds = drive s [ `Serve; `Serve; `Idle; `Serve ] in
+        Alcotest.(check (list int)) "rotation" [ 0; 1; 0; 0 ] preds);
+    Alcotest.test_case "two-bit needs hysteresis to flip" `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 Scheduler.Two_bit in
+        (* Initial counter = 1 -> predicts 0.  A single retry moves the
+           counter to 2 -> predicts 1. *)
+        let p1 = drive s [ `Retry ] in
+        Alcotest.(check (list int)) "starts at 0" [ 0 ] p1;
+        Alcotest.(check int) "now 1" 1 (Scheduler.predict s);
+        (* Two serves of channel 1 saturate; one retry is then not enough
+           to flip back. *)
+        let _ = drive s [ `Serve; `Serve; `Retry ] in
+        Alcotest.(check int) "still predicts 1" 1 (Scheduler.predict s));
+    Alcotest.test_case "two-bit rejects wrong ways" `Quick (fun () ->
+        Alcotest.check_raises "3 ways"
+          (Invalid_argument "Scheduler.make: Two_bit requires exactly 2 ways")
+          (fun () -> ignore (Scheduler.make ~ways:3 Scheduler.Two_bit)));
+    Alcotest.test_case "scripted follows the script by cycle" `Quick
+      (fun () ->
+         let s =
+           Scheduler.make ~ways:2 (Scheduler.Scripted [| 0; 1; 1; 0 |])
+         in
+         let preds = drive s [ `Serve; `Serve; `Serve; `Serve; `Serve ] in
+         Alcotest.(check (list int)) "script then wrap" [ 0; 1; 1; 0; 0 ]
+           preds);
+    Alcotest.test_case "perfect oracle never mispredicts" `Quick (fun () ->
+        let sel = [| 0; 1; 1; 0; 1; 0; 0; 1 |] in
+        let s =
+          Scheduler.make ~ways:2
+            (Scheduler.Noisy_oracle { sel; accuracy_pct = 100; seed = 42 })
+        in
+        let preds =
+          drive s (List.init (Array.length sel) (fun _ -> `Serve))
+        in
+        Alcotest.(check (list int)) "follows truth" (Array.to_list sel)
+          preds;
+        Alcotest.(check int) "no misses" 0 (Scheduler.mispredictions s));
+    Alcotest.test_case "oracle corrects after detected miss" `Quick
+      (fun () ->
+         let sel = [| 1; 1; 1; 1 |] in
+         let s =
+           Scheduler.make ~ways:2
+             (Scheduler.Noisy_oracle { sel; accuracy_pct = 0; seed = 7 })
+         in
+         (* accuracy 0: always initially wrong, so predicts 0; after the
+            retry it corrects to the true channel. *)
+         Alcotest.(check int) "initially wrong" 0 (Scheduler.predict s);
+         let _ = drive s [ `Retry ] in
+         Alcotest.(check int) "corrected" 1 (Scheduler.predict s));
+    Alcotest.test_case "external obeys force" `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 Scheduler.External in
+        Scheduler.force s 1;
+        Alcotest.(check int) "forced" 1 (Scheduler.predict s);
+        let _ = drive s [ `Serve ] in
+        Alcotest.(check int) "sticks" 1 (Scheduler.predict s));
+    Alcotest.test_case "gshare learns a periodic pattern" `Quick
+      (fun () ->
+        let s = Scheduler.make ~ways:2 (Scheduler.Gshare { history_bits = 4 }) in
+        (* Feed the repeating outcome 1 1 0 via serves: after training,
+           the prediction should follow the pattern without misses. *)
+        let pattern = [ 1; 1; 0 ] in
+        for _ = 1 to 30 do
+          List.iter
+            (fun o ->
+               let out_valid = Array.make 2 false in
+               out_valid.(o) <- true;
+               Scheduler.observe s (obs ~out_valid ~served:o ()))
+            pattern
+        done;
+        (* Now check the next 9 predictions against the pattern. *)
+        let correct = ref 0 in
+        for i = 0 to 8 do
+          let o = List.nth pattern (i mod 3) in
+          if Scheduler.predict s = o then incr correct;
+          let out_valid = Array.make 2 false in
+          out_valid.(o) <- true;
+          Scheduler.observe s (obs ~out_valid ~served:o ())
+        done;
+        Alcotest.(check bool)
+          (Fmt.str "%d/9 correct" !correct)
+          true (!correct >= 8));
+    Alcotest.test_case "gshare keeps pressing during a retry (leads-to)"
+      `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 (Scheduler.Gshare { history_bits = 2 }) in
+        (* Saturate toward 0, then hold a misprediction: the prediction
+           must flip within a bounded number of retry cycles. *)
+        for _ = 1 to 8 do
+          let out_valid = [| true; false |] in
+          Scheduler.observe s (obs ~out_valid ~served:0 ())
+        done;
+        Alcotest.(check int) "predicts 0" 0 (Scheduler.predict s);
+        let flipped = ref false in
+        for _ = 1 to 6 do
+          if Scheduler.predict s = 1 then flipped := true
+          else begin
+            let out_valid = Array.make 2 false in
+            out_valid.(Scheduler.predict s) <- true;
+            let out_stop = Array.make 2 false in
+            out_stop.(Scheduler.predict s) <- true;
+            Scheduler.observe s (obs ~out_valid ~out_stop ())
+          end
+        done;
+        Alcotest.(check bool) "flipped under pressure" true !flipped);
+    Alcotest.test_case "gshare validates parameters" `Quick (fun () ->
+        Alcotest.(check bool) "3 ways rejected" true
+          (try
+             ignore
+               (Scheduler.make ~ways:3 (Scheduler.Gshare { history_bits = 2 }));
+             false
+           with Invalid_argument _ -> true);
+        Alcotest.(check bool) "history 0 rejected" true
+          (try
+             ignore
+               (Scheduler.make ~ways:2 (Scheduler.Gshare { history_bits = 0 }));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "misprediction stat counts events, not cycles"
+      `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 (Scheduler.Static 0) in
+        (* Three consecutive retry cycles of the same stuck token are one
+           mistake. *)
+        for _ = 1 to 3 do
+          Scheduler.observe s
+            (obs ~out_valid:[| true; false |] ~out_stop:[| true; false |] ())
+        done;
+        Alcotest.(check int) "one miss" 1 (Scheduler.mispredictions s));
+    Alcotest.test_case "state round-trips" `Quick (fun () ->
+        let s = Scheduler.make ~ways:2 Scheduler.Two_bit in
+        let _ = drive s [ `Retry; `Serve ] in
+        let st = Scheduler.state s in
+        let s' = Scheduler.make ~ways:2 Scheduler.Two_bit in
+        Scheduler.set_state s' st;
+        Alcotest.(check int) "same prediction" (Scheduler.predict s)
+          (Scheduler.predict s');
+        Alcotest.(check (list int)) "same encoding" st (Scheduler.state s')) ]

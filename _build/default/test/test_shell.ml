@@ -1,0 +1,126 @@
+open Elastic_netlist
+open Elastic_core
+
+let exec s line =
+  match Shell.execute s line with
+  | Ok out -> out
+  | Error m -> Alcotest.failf "command %S failed: %s" line m
+
+let expect_error s line =
+  match Shell.execute s line with
+  | Ok out -> Alcotest.failf "command %S unexpectedly succeeded: %s" line out
+  | Error m -> m
+
+let suite =
+  [ Alcotest.test_case "help lists the commands" `Quick (fun () ->
+        let s = Shell.create () in
+        let out = exec s "help" in
+        List.iter
+          (fun cmd ->
+             Alcotest.(check bool) cmd true (Helpers.contains out cmd))
+          [ "load"; "speculate"; "throughput"; "verilog"; "undo" ]);
+    Alcotest.test_case "commands require a loaded design" `Quick (fun () ->
+        let s = Shell.create () in
+        let m = expect_error s "throughput" in
+        Alcotest.(check bool) "mentions load" true (Helpers.contains m "load"));
+    Alcotest.test_case "load + candidates + speculate" `Quick (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load fig1a" in
+        let c = exec s "candidates" in
+        Alcotest.(check bool) "one candidate" true
+          (Helpers.contains c "mux");
+        let out = exec s "speculate" in
+        Alcotest.(check bool) "applied" true
+          (Helpers.contains out "speculation applied"));
+    Alcotest.test_case "throughput report shows the sink" `Quick (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load fig1a" in
+        let out = exec s "throughput 100" in
+        Alcotest.(check bool) "sink line" true
+          (Helpers.contains out "out:"));
+    Alcotest.test_case "undo and redo traverse history" `Quick (fun () ->
+        let s = Shell.create () in
+        let shared_count () =
+          List.length
+            (List.filter
+               (fun (n : Netlist.node) ->
+                  match n.Netlist.kind with
+                  | Netlist.Shared _ -> true
+                  | _ -> false)
+               (Netlist.nodes (Option.get (Shell.current s))))
+        in
+        let _ = exec s "load fig1a" in
+        Alcotest.(check int) "no shared module yet" 0 (shared_count ());
+        let _ = exec s "speculate" in
+        Alcotest.(check int) "shared module present" 1 (shared_count ());
+        let _ = exec s "undo" in
+        Alcotest.(check int) "back" 0 (shared_count ());
+        let _ = exec s "redo" in
+        Alcotest.(check int) "forward" 1 (shared_count ()));
+    Alcotest.test_case "failed transformations leave the design intact"
+      `Quick (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load fig1a" in
+        let before = Netlist.node_count (Option.get (Shell.current s)) in
+        let _ = expect_error s "shannon out" in
+        Alcotest.(check int) "unchanged" before
+          (Netlist.node_count (Option.get (Shell.current s)));
+        let _ = expect_error s "undo" in
+        ());
+    Alcotest.test_case "unknown designs and commands are reported" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let m = expect_error s "load nonsense" in
+        Alcotest.(check bool) "lists designs" true
+          (Helpers.contains m "fig1a");
+        let m = expect_error s "frobnicate" in
+        Alcotest.(check bool) "suggests help" true
+          (Helpers.contains m "help"));
+    Alcotest.test_case "the Section 2 script reproduces the walk-through"
+      `Quick (fun () ->
+        let s = Shell.create () in
+        match
+          Shell.run_script s
+            [ "# Section 2 of the paper, as a script";
+              "load fig1a"; "bound"; "cycletime"; "speculate"; "bound";
+              "area"; "verify" ]
+        with
+        | Ok outputs ->
+          let all = String.concat "\n" outputs in
+          Alcotest.(check bool) "verified" true
+            (Helpers.contains all "VERIFIED"
+             || Helpers.contains all "states")
+        | Error m -> Alcotest.fail m);
+    Alcotest.test_case "scripts stop at the first error" `Quick (fun () ->
+        let s = Shell.create () in
+        match Shell.run_script s [ "load fig1a"; "bogus"; "area" ] with
+        | Ok _ -> Alcotest.fail "should have failed"
+        | Error m -> Alcotest.(check bool) "names the line" true
+            (Helpers.contains m "bogus"));
+    Alcotest.test_case "stats and trace commands render" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load table1" in
+        let st = exec s "stats 20" in
+        Alcotest.(check bool) "has channel column" true
+          (Helpers.contains st "channel");
+        let tr = exec s "trace 7" in
+        Alcotest.(check bool) "trace shows anti-tokens" true
+          (Helpers.contains tr "-");
+        Alcotest.(check bool) "trace shows tokens" true
+          (Helpers.contains tr "A"));
+    Alcotest.test_case "exports write files from the shell" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load fig1d" in
+        let dir = Filename.temp_file "elastic" "" in
+        Sys.remove dir;
+        let v = dir ^ ".v" and smv = dir ^ ".smv" and dot = dir ^ ".dot" in
+        let _ = exec s ("verilog " ^ v) in
+        let _ = exec s ("smv " ^ smv) in
+        let _ = exec s ("dot " ^ dot) in
+        List.iter
+          (fun f ->
+             Alcotest.(check bool) f true (Sys.file_exists f);
+             Sys.remove f)
+          [ v; smv; dot ]) ]

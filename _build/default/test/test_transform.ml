@@ -1,0 +1,347 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+open Elastic_core
+open Helpers
+
+(* Fixture: src -> F(+1) -> EB(100) -> G(x2) -> sink, with handles. *)
+let fixture () =
+  let b = builder () in
+  let s = src_stream b [ 1; 2; 3; 4; 5; 6 ] in
+  let f = add b ~name:"inc" (Func (Func.inc ~step:1 ())) in
+  let e = eb b ~name:"mid" ~init:[ Value.Int 100 ] () in
+  let g =
+    add b ~name:"dbl"
+      (Func
+         (Func.make ~name:"dbl" ~arity:1 ~delay:1.0 ~area:1.0 (function
+            | [ v ] -> Value.Int (2 * Value.to_int v)
+            | _ -> assert false)))
+  in
+  let k = sink b () in
+  let c1 = conn b (s, Out 0) (f, In 0) in
+  let c2 = conn b (f, Out 0) (e, In 0) in
+  let c3 = conn b (e, Out 0) (g, In 0) in
+  let c4 = conn b (g, Out 0) (k, In 0) in
+  (b.net, s, f, e, g, k, (c1, c2, c3, c4))
+
+let expect_sink net k expected =
+  let eng = run_net ~cycles:40 net in
+  check_no_violations eng;
+  Alcotest.(check (list value)) "stream" (ints expected) (sink_values eng k)
+
+let baseline = [ 200; 4; 6; 8; 10; 12; 14 ]
+
+let base_suite =
+  [ Alcotest.test_case "fixture baseline" `Quick (fun () ->
+        let net, _, _, _, _, k, _ = fixture () in
+        expect_sink net k baseline);
+    Alcotest.test_case "insert_buffer preserves the stream" `Quick
+      (fun () ->
+         let net, _, _, _, _, k, (c1, _, _, c4) = fixture () in
+         let net, _ =
+           Transform.insert_buffer net ~channel:c1 ~buffer:Eb0 ~init:[]
+         in
+         let net, _ = Transform.insert_bubble net ~channel:c4 in
+         Netlist.validate_exn net;
+         expect_sink net k baseline);
+    Alcotest.test_case "insert_fifo chains buffers, stream preserved"
+      `Quick (fun () ->
+        let net, _, _, _, _, k, (_, c2, _, _) = fixture () in
+        let net, bufs = Transform.insert_fifo net ~channel:c2 ~depth:4 in
+        Alcotest.(check int) "four buffers" 4 (List.length bufs);
+        Netlist.validate_exn net;
+        expect_sink net k baseline;
+        Alcotest.(check bool) "depth 0 rejected" true
+          (try
+             ignore (Transform.insert_fifo net ~channel:c2 ~depth:0);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "insert then remove buffer is the identity" `Quick
+      (fun () ->
+         let net, _, _, _, _, k, (_, c2, _, _) = fixture () in
+         let net, b = Transform.insert_bubble net ~channel:c2 in
+         let net = Transform.remove_buffer net b in
+         Netlist.validate_exn net;
+         expect_sink net k baseline);
+    Alcotest.test_case "remove_buffer refuses a full buffer" `Quick
+      (fun () ->
+         let net, _, _, e, _, _, _ = fixture () in
+         Alcotest.(check bool) "raises" true
+           (try
+              ignore (Transform.remove_buffer net e);
+              false
+            with Invalid_argument _ -> true));
+    Alcotest.test_case "convert_buffer keeps tokens, changes kind" `Quick
+      (fun () ->
+         let net, _, _, e, _, k, _ = fixture () in
+         let net = Transform.convert_buffer net e Eb0 in
+         (match (Netlist.node net e).Netlist.kind with
+          | Buffer { buffer = Eb0; init = [ Value.Int 100 ] } -> ()
+          | _ -> Alcotest.fail "kind not converted");
+         expect_sink net k baseline);
+    Alcotest.test_case "convert_buffer checks capacity" `Quick (fun () ->
+        let b = builder () in
+        let s = src_counter b () in
+        let e = eb b ~init:[ Value.Int 1; Value.Int 2 ] () in
+        let k = sink b () in
+        let _ = conn b (s, Out 0) (e, In 0) in
+        let _ = conn b (e, Out 0) (k, In 0) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Transform.convert_buffer b.net e Eb0);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "retime_forward recomputes the moved token" `Quick
+      (fun () ->
+         (* Move the EB(100) token across G: the new output buffer must
+            hold G(100) = 200 and the behavior is unchanged. *)
+         let net, _, _, e, g, k, _ = fixture () in
+         let net, nb = Transform.retime_forward net ~through:g in
+         (match (Netlist.node net nb).Netlist.kind with
+          | Buffer { init = [ Value.Int 200 ]; _ } -> ()
+          | _ -> Alcotest.fail "moved token not recomputed");
+         (match (Netlist.node net e).Netlist.kind with
+          | Buffer { init = []; _ } -> ()
+          | _ -> Alcotest.fail "source buffer not emptied");
+         expect_sink net k baseline);
+    Alcotest.test_case "retime_forward needs tokens on every input" `Quick
+      (fun () ->
+         let net, _, f, _, _, _, _ = fixture () in
+         (* f's input comes straight from the source, not a buffer. *)
+         Alcotest.(check bool) "raises" true
+           (try
+              ignore (Transform.retime_forward net ~through:f);
+              false
+            with Invalid_argument _ -> true));
+    Alcotest.test_case "retime_backward moves an empty buffer" `Quick
+      (fun () ->
+         let net, _, _, _, g, k, _ = fixture () in
+         let net, ob = Transform.insert_bubble net
+             ~channel:(match Netlist.channel_at net g (Out 0) with
+                       | Some c -> c.Netlist.ch_id
+                       | None -> assert false)
+         in
+         ignore ob;
+         let net, new_bufs = Transform.retime_backward net ~through:g in
+         Alcotest.(check int) "one per input" 1 (List.length new_bufs);
+         Netlist.validate_exn net;
+         expect_sink net k baseline);
+    Alcotest.test_case "shannon rewires the structure" `Quick (fun () ->
+        let h = Figures.fig1a () in
+        let net, copies = Transform.shannon h.Figures.net ~mux:h.Figures.mux in
+        Alcotest.(check int) "two copies" 2 (List.length copies);
+        (* The mux output now feeds the EB directly. *)
+        (match Netlist.channel_at net h.Figures.mux (Out 0) with
+         | Some c ->
+           Alcotest.(check int) "mux -> EB" h.Figures.eb
+             c.Netlist.dst.Netlist.ep_node
+         | None -> Alcotest.fail "mux output unconnected");
+        (* Each copy feeds a mux data input. *)
+        List.iter
+          (fun fi ->
+             match Netlist.channel_at net fi (Out 0) with
+             | Some c ->
+               Alcotest.(check int) "copy -> mux" h.Figures.mux
+                 c.Netlist.dst.Netlist.ep_node
+             | None -> Alcotest.fail "copy unconnected")
+          copies;
+        Netlist.validate_exn net);
+    Alcotest.test_case "shannon requires a unary block" `Quick (fun () ->
+        let b = builder () in
+        let sel = src_stream b [ 0; 1 ] in
+        let s0 = src_counter b () in
+        let s1 = src_counter b () in
+        let s2 = src_counter b () in
+        let m = add b (Mux { ways = 2; early = false }) in
+        let f2 = add b (Func (Func.add_int ~arity:2 ())) in
+        let k = sink b () in
+        let _ = conn b (sel, Out 0) (m, Sel) in
+        let _ = conn b (s0, Out 0) (m, In 0) in
+        let _ = conn b (s1, Out 0) (m, In 1) in
+        let _ = conn b (m, Out 0) (f2, In 0) in
+        let _ = conn b (s2, Out 0) (f2, In 1) in
+        let _ = conn b (f2, Out 0) (k, In 0) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Transform.shannon b.net ~mux:m);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "share rejects mismatched blocks" `Quick (fun () ->
+        let b = builder () in
+        let s0 = src_counter b () in
+        let s1 = src_counter b () in
+        let f0 = add b (Func (Func.inc ~step:1 ())) in
+        let f1 = add b (Func (Func.inc ~step:2 ())) in
+        let k0 = sink b ~name:"k0" () in
+        let k1 = sink b ~name:"k1" () in
+        let _ = conn b (s0, Out 0) (f0, In 0) in
+        let _ = conn b (s1, Out 0) (f1, In 0) in
+        let _ = conn b (f0, Out 0) (k0, In 0) in
+        let _ = conn b (f1, Out 0) (k1, In 0) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Transform.share b.net ~blocks:[ f0; f1 ]
+                  ~sched:Scheduler.Sticky);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "share requires at least two blocks" `Quick
+      (fun () ->
+         let net, _, f, _, _, _, _ = fixture () in
+         Alcotest.(check bool) "raises" true
+           (try
+              ignore
+                (Transform.share net ~blocks:[ f ] ~sched:Scheduler.Sticky);
+              false
+            with Invalid_argument _ -> true));
+    Alcotest.test_case
+      "full speculation recipe = shannon; early; share (structure)" `Quick
+      (fun () ->
+        let h = Figures.fig1a () in
+        let r =
+          Speculation.speculate h.Figures.net ~mux:h.Figures.mux
+            ~sched:Scheduler.Sticky
+        in
+        (match (Netlist.node r.Speculation.net r.Speculation.mux).Netlist.kind
+         with
+         | Mux { early = true; ways = 2 } -> ()
+         | _ -> Alcotest.fail "mux not early");
+        (match
+           (Netlist.node r.Speculation.net r.Speculation.shared).Netlist.kind
+         with
+         | Shared { ways = 2; sched = Scheduler.Sticky; _ } -> ()
+         | _ -> Alcotest.fail "shared module wrong");
+        Netlist.validate_exn r.Speculation.net);
+    Alcotest.test_case "speculate_auto equals speculate on the only
+candidate" `Quick (fun () ->
+        let h = Figures.fig1a () in
+        let r = Speculation.speculate_auto h.Figures.net
+            ~sched:Scheduler.Sticky in
+        Alcotest.(check int) "same mux" h.Figures.mux r.Speculation.mux);
+    Alcotest.test_case "speculate_auto raises without candidates" `Quick
+      (fun () ->
+        let net, _, _, _, _, _, _ = fixture () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Speculation.speculate_auto net ~sched:Scheduler.Sticky);
+             false
+           with Invalid_argument _ -> true)) ]
+
+(* Two independent decision loops in one design: the recipe composes. *)
+let double_speculation =
+  [ Alcotest.test_case "speculation applies to two muxes independently"
+      `Quick (fun () ->
+        let mk_loop b tag sel_flip =
+          let src0 =
+            add b ~name:(tag ^ "_in0")
+              (Source (Counter { start = 0; step = 2 }))
+          in
+          let src1 =
+            add b ~name:(tag ^ "_in1")
+              (Source (Counter { start = 1; step = 2 }))
+          in
+          let m = add b ~name:(tag ^ "_mux") (Mux { ways = 2; early = false }) in
+          let f =
+            add b ~name:(tag ^ "_F")
+              (Func
+                 (Func.make ~name:(tag ^ "F") ~arity:1 ~delay:5.0 ~area:10.0
+                    (function [ v ] -> v | _ -> assert false)))
+          in
+          let e =
+            eb b ~name:(tag ^ "_eb") ~init:[ Value.Int (-2) ] ()
+          in
+          let fk = add b ~name:(tag ^ "_fork") (Fork 2) in
+          let g =
+            add b ~name:(tag ^ "_G")
+              (Func
+                 (Func.make ~name:(tag ^ "G") ~arity:1 ~delay:4.0 ~area:10.0
+                    (function
+                      | [ v ] ->
+                        let i = (Value.to_int v asr 1) + 1 in
+                        Value.Int ((i + sel_flip) mod 2)
+                      | _ -> assert false)))
+          in
+          let k = sink b ~name:(tag ^ "_out") () in
+          let _ = conn b (src0, Out 0) (m, In 0) in
+          let _ = conn b (src1, Out 0) (m, In 1) in
+          let _ = conn b (m, Out 0) (f, In 0) in
+          let _ = conn b (f, Out 0) (e, In 0) in
+          let _ = conn b (e, Out 0) (fk, In 0) in
+          let _ = conn b (fk, Out 0) (g, In 0) in
+          let _ = conn b (g, Out 0) (m, Sel) in
+          let _ = conn b (fk, Out 1) (k, In 0) in
+          m
+        in
+        let b = builder () in
+        let m1 = mk_loop b "a" 0 in
+        let m2 = mk_loop b "b" 1 in
+        let reference = b.net in
+        (match Speculation.candidates reference with
+         | [ _; _ ] -> ()
+         | l -> Alcotest.failf "expected 2 candidates, got %d" (List.length l));
+        let r1 =
+          Speculation.speculate reference ~mux:m1 ~sched:Scheduler.Sticky
+        in
+        let r2 =
+          Speculation.speculate r1.Speculation.net ~mux:m2
+            ~sched:Scheduler.Toggle
+        in
+        Netlist.validate_exn r2.Speculation.net;
+        match Equiv.check ~cycles:200 reference r2.Speculation.net with
+        | Ok _ -> ()
+        | Error m -> Alcotest.fail m) ]
+
+(* Sharing of k blocks: the paper's footnote 1 says the 2-way story
+   generalizes; exercise the full recipe at 3 ways. *)
+let three_way_speculation =
+  [ Alcotest.test_case "the recipe works on a 3-way multiplexor" `Quick
+      (fun () ->
+        let b = builder () in
+        let srcs =
+          List.init 3 (fun i ->
+              add b ~name:(Fmt.str "in%d" i)
+                (Source (Counter { start = i; step = 3 })))
+        in
+        let m = add b ~name:"m3" (Mux { ways = 3; early = false }) in
+        let f =
+          add b ~name:"F3"
+            (Func
+               (Func.make ~name:"F3" ~arity:1 ~delay:5.0 ~area:30.0
+                  (function [ v ] -> v | _ -> assert false)))
+        in
+        let e = eb b ~init:[ Value.Int (-3) ] () in
+        let fk = add b (Fork 2) in
+        let g =
+          add b ~name:"G3"
+            (Func
+               (Func.make ~name:"G3" ~arity:1 ~delay:4.0 ~area:30.0
+                  (function
+                    | [ v ] -> Value.Int (((Value.to_int v / 3) + 1) mod 3)
+                    | _ -> assert false)))
+        in
+        let k = sink b () in
+        List.iteri (fun i s -> ignore (conn b (s, Out 0) (m, In i))) srcs;
+        let _ = conn b (m, Out 0) (f, In 0) in
+        let _ = conn b (f, Out 0) (e, In 0) in
+        let _ = conn b (e, Out 0) (fk, In 0) in
+        let _ = conn b (fk, Out 0) (g, In 0) in
+        let _ = conn b (g, Out 0) (m, Sel) in
+        let _ = conn b (fk, Out 1) (k, In 0) in
+        let reference = b.net in
+        let r =
+          Speculation.speculate reference ~mux:m ~sched:Scheduler.Round_robin
+        in
+        (match (Netlist.node r.Speculation.net r.Speculation.shared).Netlist.kind
+         with
+         | Shared { ways = 3; _ } -> ()
+         | _ -> Alcotest.fail "expected a 3-way shared module");
+        (match Equiv.check ~cycles:200 reference r.Speculation.net with
+         | Ok _ -> ()
+         | Error msg -> Alcotest.fail msg);
+        (* Round-robin happens to match the cyclic select: full rate. *)
+        let eng = run_net ~cycles:200 r.Speculation.net in
+        check_no_violations eng;
+        Alcotest.(check bool) "decent throughput" true
+          (Elastic_sim.Engine.throughput eng k > 0.5)) ]
+
+let suite = base_suite @ double_speculation @ three_way_speculation
