@@ -18,12 +18,13 @@ type design = {
 (*                            +--------> sh.hint      => sink           *)
 (* ------------------------------------------------------------------ *)
 
-let replay_stage ?(recovery = Netlist.Eb0) ~name ~source ~fast ~slow ~err
-    ~stage_f ~width ~out_width () =
+let replay_stage_alarmed ?(recovery = Netlist.Eb0) ?alarm ~name ~source
+    ~fast ~slow ~err ~stage_f ~width ~out_width () =
   let net = Netlist.empty in
   let add ?name net kind = Netlist.add_node ?name net kind in
   let net, src = add ~name:"src" net (Netlist.Source source) in
-  let net, fork = add ~name:"op_fork" net (Netlist.Fork 3) in
+  let fork_ways = match alarm with None -> 3 | Some _ -> 4 in
+  let net, fork = add ~name:"op_fork" net (Netlist.Fork fork_ways) in
   let net, ffast = add ~name:"fast" net (Netlist.Func fast) in
   let net, fslow = add ~name:"slow" net (Netlist.Func slow) in
   let net, ferr = add ~name:"err" net (Netlist.Func err) in
@@ -71,8 +72,29 @@ let replay_stage ?(recovery = Netlist.Eb0) ~name ~source ~fast ~slow ~err
   let net = c ~w:out_width net (sh, Netlist.Out 1) (eb1r, Netlist.In 0) in
   let net = c ~w:out_width net (eb1r, Netlist.Out 0) (mux, Netlist.In 1) in
   let net = c ~w:out_width net (mux, Netlist.Out 0) (sink, Netlist.In 0) in
+  (* Optional error-severity tap: a fourth fork way through a severity
+     function into a dedicated "alarm" sink, so fault campaigns can tell
+     detected-and-reported errors from silent ones. *)
+  let net, alarm_sink =
+    match alarm with
+    | None -> (net, None)
+    | Some f ->
+      let net, sev = add ~name:"severity" net (Netlist.Func f) in
+      let net, asink =
+        add ~name:"alarm" net (Netlist.Sink Netlist.Always_ready)
+      in
+      let net = c net (fork, Netlist.Out 3) (sev, Netlist.In 0) in
+      let net = c ~w:2 net (sev, Netlist.Out 0) (asink, Netlist.In 0) in
+      (net, Some asink)
+  in
   Netlist.validate_exn net;
-  { d_net = net; d_sink = sink; d_name = name }
+  ({ d_net = net; d_sink = sink; d_name = name }, alarm_sink)
+
+let replay_stage ?recovery ~name ~source ~fast ~slow ~err ~stage_f ~width
+    ~out_width () =
+  fst
+    (replay_stage_alarmed ?recovery ~name ~source ~fast ~slow ~err ~stage_f
+       ~width ~out_width ())
 
 (* ------------------------------------------------------------------ *)
 (* §5.1 Variable-latency ALU                                            *)
@@ -256,6 +278,30 @@ let rs_speculative ~ops =
     ~fast:(rs_raw_pair ()) ~slow:(rs_correct_pair ()) ~err:(rs_err ())
     ~stage_f:(rs_adder ()) ~width:128 ~out_width:64 ()
 
+(* Maximum SECDED decode status over the two operands: 0 = clean,
+   1 = single error (corrected), 2 = double error (detected but
+   uncorrectable).  A tap off the same syndrome logic as [rs_err]. *)
+let rs_severity () =
+  Func.make ~name:"secded_sev" ~arity:1 ~delay:7.0 ~area:24.0 (function
+    | [ Value.Tuple [ va; vb ] ] ->
+      let sev v =
+        match Secded.decode (codeword_of v) with
+        | Secded.No_error -> 0
+        | Secded.Corrected _ -> 1
+        | Secded.Double_error -> 2
+      in
+      Value.Int (max (sev va) (sev vb))
+    | _ -> assert false)
+
+let rs_speculative_alarmed ~ops =
+  let d, alarm =
+    replay_stage_alarmed ~alarm:(rs_severity ())
+      ~name:"rs-speculative-alarmed" ~source:(rs_stream ops)
+      ~fast:(rs_raw_pair ()) ~slow:(rs_correct_pair ()) ~err:(rs_err ())
+      ~stage_f:(rs_adder ()) ~width:128 ~out_width:64 ()
+  in
+  (d, Option.get alarm)
+
 (* ------------------------------------------------------------------ *)
 (* Sec. 1 motivation: a next-PC loop running a 7-instruction program     *)
 (* with an inner branch (taken 3 of 4) and an outer branch (monotone).  *)
@@ -349,6 +395,7 @@ let () =
   Library.register (rs_correct_pair ());
   Library.register (rs_raw_pair ());
   Library.register (rs_err ());
+  Library.register (rs_severity ());
   Library.register (rs_adder ());
   Library.register pl_resolve;
   Library.register pl_nextpc;

@@ -59,6 +59,14 @@ val rs_nonspeculative : ops:rs_op list -> design
     error the addition replays with the corrected values. *)
 val rs_speculative : ops:rs_op list -> design
 
+(** {!rs_speculative} plus an error-severity tap: a fourth fork way feeds
+    [max] of the two operands' SECDED decode status (0 = clean,
+    1 = corrected, 2 = double error detected) into a dedicated "alarm"
+    sink, whose node id is returned.  Fault campaigns treat values [>= 2]
+    on that sink as detection (see [Elastic_fault.Recovery]). *)
+val rs_speculative_alarmed :
+  ops:rs_op list -> design * Netlist.node_id
+
 (** Golden sums (errors corrected). *)
 val rs_reference : rs_op list -> Value.t list
 

@@ -17,6 +17,7 @@ let help =
   load <design>            load a predefined design:
                            fig1a fig1b fig1c fig1d table1
                            vl-stalling vl-speculative rs-nonspec rs-spec
+                           rs-alarmed
   show                     print nodes and channels
   candidates               list speculation candidates (critical cycles
                            through a multiplexor select)
@@ -43,6 +44,14 @@ let help =
   critical                 critical cycle of the marked graph
   verify                   exhaustive state exploration (protocol,
                            deadlock, starvation)
+  inject <ch> flip <cycle> <bit>       single fault-injection experiments:
+  inject <ch> drop|dup|glitch <cycle>  run a faulted and a clean engine in
+  inject <ch> stall <cycle> [dur]      lockstep and classify the outcome
+  inject <node> mispredict <cycle> <way>
+  campaign flips <ch> <n> <seed> [cycles]  seeded single-bit-flip campaign
+  campaign storm <n> <seed> [cycles]       flips spread over all channels
+                           (sinks named "alarm" act as error detectors:
+                           a value >= 2 counts as detection)
   dot <file>               export Graphviz
   verilog <file>           export the elastic controller as Verilog
   blif <file>              export the control network for SIS/ABC
@@ -76,6 +85,12 @@ let designs =
      fun () ->
        (Examples.rs_speculative
           ~ops:(Examples.rs_ops ~error_rate_pct:10 ~seed:1 200))
+         .Examples.d_net);
+    ("rs-alarmed",
+     fun () ->
+       (fst
+          (Examples.rs_speculative_alarmed
+             ~ops:(Examples.rs_ops ~error_rate_pct:0 ~seed:1 200)))
          .Examples.d_net) ]
 
 let sched_of_string = function
@@ -167,7 +182,139 @@ let throughput_report net cycles =
   String.concat "\n"
     ((Fmt.str "simulated %d cycles" cycles :: sinks) @ extra)
 
-let execute s line =
+(* Sinks named "alarm" are error detectors by convention (see
+   [Examples.rs_speculative_alarmed]): a delivered value >= 2 counts as
+   the design reporting the fault. *)
+let alarms_of net =
+  List.filter_map
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Sink _ when String.equal n.Netlist.name "alarm" ->
+         Some
+           (n.Netlist.id,
+            fun v -> (try Value.to_int v >= 2 with Invalid_argument _ -> false))
+       | _ -> None)
+    (Netlist.nodes net)
+
+let int_arg what v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Fmt.str "%s must be an integer, got %S" what v)
+
+let inject_usage =
+  "usage: inject <channel> flip <cycle> <bit> | inject <channel> \
+   drop|dup|glitch <cycle> | inject <channel> stall <cycle> [duration] | \
+   inject <node> mispredict <cycle> <way>"
+
+let inject_cmd net target kind rest =
+  let open Elastic_fault in
+  let ( let* ) = Result.bind in
+  let* faults =
+    match kind, rest with
+    | "flip", [ cy; bit ] ->
+      let* channel = channel_arg net target in
+      let* cycle = int_arg "cycle" cy in
+      let* bit = int_arg "bit" bit in
+      Ok [ Fault.flip_bit ~channel ~cycle bit ]
+    | "drop", [ cy ] ->
+      let* channel = channel_arg net target in
+      let* cycle = int_arg "cycle" cy in
+      Ok [ Fault.drop_token ~channel ~cycle ]
+    | "dup", [ cy ] ->
+      let* channel = channel_arg net target in
+      let* cycle = int_arg "cycle" cy in
+      Ok [ Fault.duplicate_token ~channel ~cycle ]
+    | "glitch", [ cy ] ->
+      let* channel = channel_arg net target in
+      let* cycle = int_arg "cycle" cy in
+      Ok (Fault.control_glitch ~channel ~cycle)
+    | "stall", ([ _ ] | [ _; _ ]) ->
+      let* channel = channel_arg net target in
+      let* cycle = int_arg "cycle" (List.hd rest) in
+      let* duration =
+        match rest with
+        | [ _; d ] -> int_arg "duration" d
+        | _ -> Ok 1
+      in
+      Ok [ Fault.stuck_stall ~channel ~cycle ~duration ]
+    | "mispredict", [ cy; way ] ->
+      let* node = node_arg net target in
+      let* cycle = int_arg "cycle" cy in
+      let* way = int_arg "way" way in
+      Ok [ Fault.mispredict ~node ~cycle way ]
+    | _ -> Error inject_usage
+  in
+  let report =
+    Recovery.check ~cycles:300 ~settle:60 ~alarms:(alarms_of net) net
+      ~faults
+  in
+  Ok (Fmt.str "%a" Recovery.pp_report report)
+
+let campaign_summary net summary =
+  let open Elastic_fault in
+  let bad =
+    List.filter
+      (fun (o : Campaign.outcome) ->
+         match o.Campaign.report.Recovery.classification with
+         | Recovery.Masked | Recovery.Corrected _ -> false
+         | _ -> true)
+      summary.Campaign.outcomes
+  in
+  let detail =
+    List.filteri (fun i _ -> i < 5) bad
+    |> List.map (fun (o : Campaign.outcome) ->
+        Fmt.str "  %a <- %s" Recovery.pp_classification
+          o.Campaign.report.Recovery.classification
+          (String.concat " + "
+             (List.map (Fault.describe net) o.Campaign.faults)))
+  in
+  let more =
+    if List.length bad > 5 then
+      [ Fmt.str "  ... and %d more non-benign outcomes"
+          (List.length bad - 5) ]
+    else []
+  in
+  String.concat "\n"
+    ((Fmt.str "%a" Campaign.pp_summary summary :: detail) @ more)
+
+let campaign_cmd net kind rest =
+  let open Elastic_fault in
+  let ( let* ) = Result.bind in
+  let usage =
+    "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
+     storm <count> <seed> [cycles]"
+  in
+  let* scenarios, cycles =
+    match kind, rest with
+    | "flips", (ch :: cnt :: seed :: tail) when List.length tail <= 1 ->
+      let* channel = channel_arg net ch in
+      let* count = int_arg "count" cnt in
+      let* seed = int_arg "seed" seed in
+      let* cycles =
+        match tail with [ c ] -> int_arg "cycles" c | _ -> Ok 300
+      in
+      Ok
+        (Campaign.random_bitflips ~net ~channel ~seed ~count ~from_cycle:2
+           ~to_cycle:(max 3 (cycles / 2)) (),
+         cycles)
+    | "storm", (cnt :: seed :: tail) when List.length tail <= 1 ->
+      let* count = int_arg "count" cnt in
+      let* seed = int_arg "seed" seed in
+      let* cycles =
+        match tail with [ c ] -> int_arg "cycles" c | _ -> Ok 300
+      in
+      Ok
+        (Campaign.random_storm ~net ~seed ~count ~from_cycle:2
+           ~to_cycle:(max 3 (cycles / 2)),
+         cycles)
+    | _ -> Error usage
+  in
+  let summary =
+    Campaign.run ~cycles ~settle:60 ~alarms:(alarms_of net) net ~scenarios
+  in
+  Ok (campaign_summary net summary)
+
+let execute_cmd s line =
   let words =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun w -> w <> "")
@@ -470,15 +617,37 @@ let execute s line =
         s.net <- Some next;
         Ok "redone"
       | _, _ -> Error "nothing to redo")
+  | "inject" :: target :: kind :: rest ->
+    with_net s (fun net -> inject_cmd net target kind rest)
+  | [ "inject" ] | [ "inject"; _ ] -> Error inject_usage
+  | "campaign" :: kind :: rest ->
+    with_net s (fun net -> campaign_cmd net kind rest)
+  | [ "campaign" ] ->
+    Error
+      "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
+       storm <count> <seed> [cycles]"
   | [ "quit" ] | [ "exit" ] -> Ok "bye"
   | w :: _ -> Error (Fmt.str "unknown command %S (try: help)" w)
 
+(* The interpreter is an interactive trust boundary: whatever a command
+   raises — including structured simulation errors from a fault
+   experiment gone wrong — must come back as [Error], never kill the
+   session. *)
+let execute s line =
+  try execute_cmd s line with
+  | Invalid_argument m | Failure m -> Error m
+  | Elastic_sim.Engine.Simulation_error e ->
+    Error (Elastic_sim.Engine.error_to_string e)
+  | Out_of_memory | Stack_overflow as e -> raise e
+  | e -> Error (Printexc.to_string e)
+
 let run_script s lines =
-  let rec go acc = function
+  let rec go acc lineno = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
         match execute s line with
-        | Ok out -> go (if out = "" then acc else out :: acc) rest
-        | Error m -> Error (Fmt.str "at %S: %s" line m))
+        | Ok out ->
+          go (if out = "" then acc else out :: acc) (lineno + 1) rest
+        | Error m -> Error (Fmt.str "line %d: %S: %s" lineno line m))
   in
-  go [] lines
+  go [] 1 lines

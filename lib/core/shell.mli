@@ -15,10 +15,13 @@ val create : unit -> session
 
 (** [execute s line] parses and runs one command.  [Ok output] is the text
     to display; [Error message] reports a parse or application failure
-    (the design state is unchanged on error). *)
+    (the design state is unchanged on error).  Never raises: exceptions
+    escaping a command — including [Engine.Simulation_error] — are
+    rendered into the [Error] message. *)
 val execute : session -> string -> (string, string) result
 
-(** Run a whole script, stopping at the first error. *)
+(** Run a whole script, stopping at the first error; the error message is
+    prefixed with the 1-based line number of the offending command. *)
 val run_script : session -> string list -> (string list, string) result
 
 (** The current design (for tests and embedding). *)

@@ -1,7 +1,32 @@
 open Elastic_kernel
 open Elastic_netlist
 
-exception Simulation_error of string
+type error = {
+  err_cycle : int;
+  err_node : Netlist.node_id option;
+  err_channel : Netlist.channel_id option;
+  err_msg : string;
+}
+
+exception Simulation_error of error
+
+let error ?node ?channel ~cycle msg =
+  { err_cycle = cycle; err_node = node; err_channel = channel;
+    err_msg = msg }
+
+let fail ?node ?channel ~cycle msg =
+  raise (Simulation_error (error ?node ?channel ~cycle msg))
+
+let pp_error ppf e =
+  Fmt.pf ppf "cycle %d%a%a: %s" e.err_cycle
+    Fmt.(option (fmt ", node %d"))
+    e.err_node
+    Fmt.(option (fmt ", channel %d"))
+    e.err_channel e.err_msg
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+type injector = cycle:int -> Netlist.channel_id -> Wires.override option
 
 type compiled = {
   inst : Instance.t;
@@ -30,19 +55,21 @@ type t = {
   starve_wait : int array;  (* per channel, for shared-module inputs *)
   shared_input : bool array;  (* channel feeds a shared module *)
   mutable starvation : string list;
+  mutable injector : injector option;
+  mutable overrides_active : bool;
 }
 
 let dense_index t cid =
   match Hashtbl.find_opt t.ch_index cid with
   | Some i -> i
-  | None -> raise (Simulation_error (Fmt.str "unknown channel id %d" cid))
+  | None ->
+    fail ~cycle:t.cycle ~channel:cid (Fmt.str "unknown channel id %d" cid)
 
 let create ?(monitor = true) ?(liveness_bound = 64) net =
   (match Netlist.validate net with
    | [] -> ()
    | ps ->
-     raise
-       (Simulation_error ("invalid netlist: " ^ String.concat "; " ps)));
+     fail ~cycle:0 ("invalid netlist: " ^ String.concat "; " ps));
   let chans = Array.of_list (Netlist.channels net) in
   let ch_index = Hashtbl.create 64 in
   Array.iteri
@@ -125,6 +152,8 @@ let create ?(monitor = true) ?(liveness_bound = 64) net =
     retry_cycles = Array.make (Array.length chans) 0;
     anti_cycles = Array.make (Array.length chans) 0;
     sink_streams;
+    injector = None;
+    overrides_active = false;
     starve_wait = Array.make (Array.length chans) 0;
     shared_input =
       Array.map
@@ -143,36 +172,79 @@ let cycle t = t.cycle
 
 let fixpoint t =
   let max_passes = (4 * Array.length t.chans) + 16 in
+  let eval_all () =
+    Array.iter
+      (fun c ->
+         try Instance.eval t.ws c.inst with
+         | Wires.Conflict { wire; field } ->
+           let ch = t.chans.(wire) in
+           fail ~cycle:t.cycle ~node:ch.Netlist.src.Netlist.ep_node
+             ~channel:ch.Netlist.ch_id
+             (Fmt.str "conflicting write to %s of channel %s" field
+                ch.Netlist.ch_name)
+         | (Assert_failure _ | Invalid_argument _) as e ->
+           (* Internal node invariants can only break under injected
+              faults; report them with provenance instead of a bare
+              backtrace. *)
+           fail ~cycle:t.cycle ~node:(Instance.node c.inst).Netlist.id
+             (Fmt.str "node invariant violated during evaluation: %s"
+                (Printexc.to_string e)))
+      t.compiled
+  in
   let rec go pass =
     if pass > max_passes then
-      raise
-        (Simulation_error
-           (Fmt.str "cycle %d: combinational evaluation did not converge"
-              t.cycle));
+      fail ~cycle:t.cycle "combinational evaluation did not converge";
     Wires.clear_progress t.ws;
-    Array.iter (fun c -> Instance.eval t.ws c.inst) t.compiled;
+    eval_all ();
     if Wires.progress t.ws then go (pass + 1)
   in
   go 0;
   if Wires.unknown_count t.ws > 0 then begin
-    let unknowns =
+    let undetermined =
       Array.to_list t.chans
       |> List.filteri (fun i _ ->
           let w = Wires.wire t.ws i in
           Wires.v_plus w = None || Wires.s_plus w = None
           || Wires.v_minus w = None || Wires.s_minus w = None)
-      |> List.map (fun (c : Netlist.channel) -> c.Netlist.ch_name)
+    in
+    let names =
+      List.map (fun (c : Netlist.channel) -> c.Netlist.ch_name) undetermined
+    in
+    let node, channel =
+      match undetermined with
+      | [] -> (None, None)
+      | c :: _ ->
+        (Some c.Netlist.src.Netlist.ep_node, Some c.Netlist.ch_id)
     in
     raise
       (Simulation_error
-         (Fmt.str
-            "cycle %d: combinational cycle, undetermined channels: %s"
-            t.cycle
-            (String.concat ", " unknowns)))
+         (error ?node ?channel ~cycle:t.cycle
+            (Fmt.str "combinational cycle, undetermined channels: %s"
+               (String.concat ", " names))))
   end
+
+let set_injector t inj = t.injector <- inj
+
+let install_overrides t =
+  if t.overrides_active then begin
+    Wires.clear_overrides t.ws;
+    t.overrides_active <- false
+  end;
+  match t.injector with
+  | None -> ()
+  | Some f ->
+    Array.iteri
+      (fun i (c : Netlist.channel) ->
+         match f ~cycle:t.cycle c.Netlist.ch_id with
+         | Some ov ->
+           Wires.set_override t.ws i ov;
+           t.overrides_active <- true
+         | None -> ())
+      t.chans
 
 let step ?(choices = fun _ -> None) t =
   Wires.reset t.ws;
+  install_overrides t;
   Array.iter
     (fun c ->
        Instance.begin_cycle c.inst
@@ -228,7 +300,13 @@ let step ?(choices = fun _ -> None) t =
            in
            match signals.(i).Signal.data with
            | Some v -> stream := Transfer.record !stream ~cycle:t.cycle v
-           | None -> assert false
+           | None ->
+             (* Unreachable in a healthy run; reachable when a fault
+                forges a valid bit without a payload. *)
+             fail ~cycle:t.cycle
+               ~node:(Instance.node c.inst).Netlist.id
+               ~channel:t.chans.(i).Netlist.ch_id
+               "token delivered at sink with no data payload"
          end
        | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _
        | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
@@ -238,10 +316,15 @@ let step ?(choices = fun _ -> None) t =
   Array.iter
     (fun c ->
        let pair i = (signals.(i), events.(i)) in
-       Instance.clock c.inst
-         ~ins:(Array.map pair c.in_ch)
-         ~sel:(Option.map pair c.sel_ch)
-         ~outs:(Array.map pair c.out_ch))
+       try
+         Instance.clock c.inst
+           ~ins:(Array.map pair c.in_ch)
+           ~sel:(Option.map pair c.sel_ch)
+           ~outs:(Array.map pair c.out_ch)
+       with (Assert_failure _ | Invalid_argument _) as e ->
+         fail ~cycle:t.cycle ~node:(Instance.node c.inst).Netlist.id
+           (Fmt.str "node invariant violated at the clock edge: %s"
+              (Printexc.to_string e)))
     t.compiled;
   t.cycle <- t.cycle + 1
 
@@ -259,7 +342,7 @@ let sink_stream t nid =
   match Hashtbl.find_opt t.sink_streams nid with
   | Some s -> !s
   | None ->
-    raise (Simulation_error (Fmt.str "node %d is not a sink" nid))
+    fail ~cycle:t.cycle ~node:nid (Fmt.str "node %d is not a sink" nid)
 
 let delivered t cid = t.delivered.(dense_index t cid)
 

@@ -18,7 +18,26 @@ open Elastic_netlist
     SELF protocol monitors of §3.1 on every channel and a starvation
     watchdog for the leads-to constraint (1) on shared-module inputs. *)
 
-exception Simulation_error of string
+(** Structured simulation failure: the cycle it occurred on and, when
+    known, the offending node and channel, so shells and fault-campaign
+    reports can render provenance instead of an opaque string. *)
+type error = {
+  err_cycle : int;
+  err_node : Netlist.node_id option;
+  err_channel : Netlist.channel_id option;
+  err_msg : string;
+}
+
+exception Simulation_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+(** Fault-injection hook: called once per channel per cycle (before the
+    combinational phase); returning an override perturbs that channel's
+    wire for the cycle.  See {!Wires.override}. *)
+type injector = cycle:int -> Netlist.channel_id -> Wires.override option
 
 type t
 
@@ -32,6 +51,11 @@ val netlist : t -> Netlist.t
 
 (** Cycles simulated so far. *)
 val cycle : t -> int
+
+(** Install (or remove, with [None]) the fault injector consulted at the
+    start of every subsequent {!step}.  The engine itself is unchanged:
+    with no injector the wire store carries no overrides. *)
+val set_injector : t -> injector option -> unit
 
 (** Simulate one cycle.  [choices] overrides nondeterministic decisions of
     environment nodes and [External] schedulers, keyed by node id.

@@ -6,7 +6,34 @@ open Elastic_kernel
     channel starts unknown and is written at most once by the driving
     node.  The fixed-point engine repeatedly evaluates nodes until no new
     wire becomes known; writing two different values to one wire is a
-    simulator bug and raises. *)
+    simulator bug and raises {!Conflict}.
+
+    Wires additionally support per-cycle {e overrides} — the
+    fault-injection hook.  An override pins control bits to a forced
+    level and/or corrupts the data payload; the driving node's write is
+    silently reconciled against the forced value so the fixed point stays
+    monotone and conflict-free while the rest of the circuit observes the
+    perturbed wire. *)
+
+(** A fault overlay for one channel wire during one cycle.  [force_*]
+    pin a control bit; [map_data] transforms the payload the driver
+    writes; [subst_data] supplies a payload when the wire is forced
+    valid but carries no driven data (token forgery / duplication). *)
+type override = {
+  force_v_plus : bool option;
+  force_s_plus : bool option;
+  force_v_minus : bool option;
+  force_s_minus : bool option;
+  map_data : (Value.t -> Value.t) option;
+  subst_data : Value.t option;
+}
+
+val no_override : override
+
+(** Raised on conflicting writes to one wire — a simulator bug (or an
+    injected fault that broke write-once discipline).  The engine wraps
+    this with channel provenance. *)
+exception Conflict of { wire : int; field : string }
 
 type wire
 
@@ -17,8 +44,16 @@ val create : int -> t
 
 val wire : t -> int -> wire
 
-(** Forget all values (start of a new cycle). *)
+(** Forget all values (start of a new cycle).  Overrides are kept. *)
 val reset : t -> unit
+
+(** [set_override t i ov] installs [ov] on wire [i] and immediately seeds
+    any forced control bits, so call it after {!reset} and before node
+    evaluation. *)
+val set_override : t -> int -> override -> unit
+
+(** Remove all installed overrides. *)
+val clear_overrides : t -> unit
 
 (** Has any wire been written since the flag was last cleared? *)
 val progress : t -> bool
@@ -41,7 +76,7 @@ val s_minus : wire -> bool option
 (** Data is meaningful only when [v_plus = Some true]. *)
 val data : wire -> Value.t option
 
-(** {1 Writing}  @raise Failure on conflicting writes. *)
+(** {1 Writing}  @raise Conflict on conflicting writes. *)
 
 val set_v_plus : t -> wire -> bool -> unit
 

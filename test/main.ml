@@ -17,5 +17,6 @@ let () =
       ("shell", Test_shell.suite);
       ("sim.property", Test_sim_property.suite);
       ("sim.more", Test_sim_more.suite);
+      ("fault", Test_fault.suite);
       ("serial", Test_serial.suite);
       ("blif.cosim", Test_blif_cosim.suite) ]

@@ -59,6 +59,64 @@ let secded_suite =
           (Invalid_argument "Secded.flip_bit: index out of range") (fun () ->
             ignore (Secded.flip_bit cw 72))) ]
 
+(* The netlist-facing wrapper used by the §5.2 designs: the corrector
+   Func must surface err=2 on a double error (passing the uncorrected
+   data through, never a miscorrection) and err=1 with repaired data on
+   a single error — the signal the resilient adder's alarm logic keys
+   on. *)
+let corrector_func_suite =
+  let open Elastic_kernel in
+  let open Elastic_netlist in
+  let cor = Secded.corrector_func () in
+  let cw_value (cw : Secded.codeword) =
+    Value.Tuple [ Value.Word cw.Secded.data; Value.Int cw.Secded.check ]
+  in
+  [ Alcotest.test_case "corrector func reports err=1 and repairs singles"
+      `Quick (fun () ->
+        List.iter
+          (fun w ->
+             let cw = Secded.encode w in
+             for bit = 0 to 71 do
+               match Func.apply cor [ cw_value (Secded.flip_bit cw bit) ] with
+               | Value.Tuple [ Value.Word d; Value.Int 1 ] ->
+                 if not (Int64.equal d w) then
+                   Alcotest.failf "0x%Lx bit %d: repaired to 0x%Lx" w bit d
+               | v -> Alcotest.failf "0x%Lx bit %d: %a" w bit Value.pp v
+             done)
+          [ 0L; -1L; 0xDEADBEEFL ]);
+    Alcotest.test_case "corrector func reports err=2 on every double"
+      `Quick (fun () ->
+        let w = 0xCAFEBABE12345678L in
+        let cw = Secded.encode w in
+        for i = 0 to 71 do
+          for j = i + 1 to 71 do
+            let hit = Secded.flip_bit (Secded.flip_bit cw i) j in
+            match Func.apply cor [ cw_value hit ] with
+            | Value.Tuple [ Value.Word d; Value.Int 2 ] ->
+              (* Uncorrected data passes through untouched: downstream
+                 logic sees the raw (known-bad) word plus the alarm. *)
+              if not (Int64.equal d hit.Secded.data) then
+                Alcotest.failf "bits %d,%d: data rewritten to 0x%Lx" i j d
+            | v -> Alcotest.failf "bits %d,%d: %a" i j Value.pp v
+          done
+        done);
+    Alcotest.test_case "corrector func is clean on intact codewords"
+      `Quick (fun () ->
+        List.iter
+          (fun w ->
+             match Func.apply cor [ cw_value (Secded.encode w) ] with
+             | Value.Tuple [ Value.Word d; Value.Int 0 ] ->
+               Alcotest.(check bool) "data" true (Int64.equal d w)
+             | v -> Alcotest.failf "0x%Lx: %a" w Value.pp v)
+          words);
+    Alcotest.test_case "corrector func rejects non-codeword payloads"
+      `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Func.apply cor [ Value.Int 3 ]);
+             false
+           with Invalid_argument _ -> true)) ]
+
 let qcheck_secded =
   let open QCheck in
   [ QCheck_alcotest.to_alcotest
@@ -130,4 +188,6 @@ let qcheck_alu =
                  Alu.approx_correct op a b = (Alu.approx op a b = Alu.exact op a b))
               [ Alu.Add; Alu.Sub; Alu.And; Alu.Or; Alu.Xor ])) ]
 
-let suite = secded_suite @ qcheck_secded @ alu_suite @ qcheck_alu
+let suite =
+  secded_suite @ corrector_func_suite @ qcheck_secded @ alu_suite
+  @ qcheck_alu

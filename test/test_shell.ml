@@ -97,6 +97,47 @@ let suite =
         | Ok _ -> Alcotest.fail "should have failed"
         | Error m -> Alcotest.(check bool) "names the line" true
             (Helpers.contains m "bogus"));
+    Alcotest.test_case "script errors carry the 1-based line number"
+      `Quick (fun () ->
+        let s = Shell.create () in
+        match
+          Shell.run_script s [ "load fig1a"; "bogus command here"; "area" ]
+        with
+        | Ok _ -> Alcotest.fail "should have failed"
+        | Error m ->
+          Alcotest.(check bool) "line number" true
+            (Helpers.contains m "line 2"));
+    Alcotest.test_case "execute never raises on malformed input" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-alarmed" in
+        (* Bad arities, non-numeric arguments and junk channels must all
+           come back as [Error _], keeping an interactive session alive. *)
+        List.iter
+          (fun line -> ignore (expect_error s line))
+          [ "inject"; "inject chan"; "inject chan flip";
+            "inject nosuchchannel flip 5 3"; "inject chan flip five three";
+            "campaign flips"; "campaign flips nosuchchannel 10 42";
+            "campaign storm many seeds"; "inject src.out0->op_fork.in0 warp 3" ]);
+    Alcotest.test_case "inject classifies a single-bit operand upset"
+      `Quick (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-alarmed" in
+        let out = exec s "inject src.out0->op_fork.in0 flip 10 17" in
+        Alcotest.(check bool) "corrected" true
+          (Helpers.contains out "corrected");
+        Alcotest.(check bool) "provenance" true
+          (Helpers.contains out "channel src.out0->op_fork.in0"));
+    Alcotest.test_case "campaign summarizes seeded fault runs" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-alarmed" in
+        let out = exec s "campaign flips src.out0->op_fork.in0 6 42" in
+        Alcotest.(check bool) "counts scenarios" true
+          (Helpers.contains out "6 fault scenarios");
+        (* Same seed, same summary: campaigns are reproducible. *)
+        let again = exec s "campaign flips src.out0->op_fork.in0 6 42" in
+        Alcotest.(check string) "deterministic" out again);
     Alcotest.test_case "stats and trace commands render" `Quick
       (fun () ->
         let s = Shell.create () in

@@ -165,6 +165,91 @@ let emux_props =
          && List.equal Value.equal expected
               (Transfer.values (Engine.sink_stream eng k))) ]
 
+(* --- token/anti-token accounting under adversarial environments ----- *)
+
+(* Early-evaluation muxes emit anti-tokens into the non-selected branch;
+   under random offer/stall patterns the signed bookkeeping must stay
+   bounded every cycle: a buffer never stores more tokens (or owes more
+   anti-tokens) than its capacity, kill counters only grow, the mux never
+   delivers more results than selects it consumed, and the protocol
+   monitors stay silent throughout. *)
+
+let antitoken_props =
+  let open QCheck in
+  [ Test.make
+      ~name:"qcheck: anti-token accounting stays bounded every cycle"
+      ~count:150
+      (make
+         ~print:(fun (sels, p0, p1, stall) ->
+           Fmt.str "sel=[%a] rates=(%d,%d) stall=%d%%"
+             Fmt.(list ~sep:comma int)
+             sels p0 p1 stall)
+         QCheck.Gen.(
+           quad
+             (list_size (int_range 3 12) (int_bound 1))
+             (int_range 20 100) (int_range 20 100) (int_bound 70)))
+      (fun (sels, p0, p1, stall) ->
+         let b = builder () in
+         let sel = src_stream b sels in
+         let s0 = add b (Source (Random_rate { pct = p0; seed = 31 })) in
+         let s1 = add b (Source (Random_rate { pct = p1; seed = 37 })) in
+         (* EBs on the data branches give the anti-tokens somewhere to
+            park (negative occupancy). *)
+         let e0 = eb b () in
+         let e1 = eb b () in
+         let m = add b (Mux { ways = 2; early = true }) in
+         let k = add b (Sink (Random_stall { pct = stall; seed = 41 })) in
+         let c_sel = conn b (sel, Out 0) (m, Sel) in
+         let _ = conn b (s0, Out 0) (e0, In 0) in
+         let _ = conn b (s1, Out 0) (e1, In 0) in
+         let _ = conn b (e0, Out 0) (m, In 0) in
+         let _ = conn b (e1, Out 0) (m, In 1) in
+         let c_out = conn b (m, Out 0) (k, In 0) in
+         let capacity = function
+           | Netlist.Eb -> 2
+           | Netlist.Eb0 -> 1
+         in
+         let cap_of =
+           let tbl = Hashtbl.create 8 in
+           List.iter
+             (fun (n : Netlist.node) ->
+                match n.Netlist.kind with
+                | Netlist.Buffer { buffer; _ } ->
+                  Hashtbl.replace tbl n.Netlist.id (capacity buffer)
+                | _ -> ())
+             (Netlist.nodes b.net);
+           fun id -> Hashtbl.find_opt tbl id
+         in
+         let eng = Engine.create b.net in
+         let killed_before = Hashtbl.create 16 in
+         let ok = ref true in
+         for _ = 1 to 200 do
+           Engine.step eng;
+           (* Occupancy bounded by capacity, in both directions. *)
+           List.iter
+             (fun (id, occ) ->
+                match cap_of id with
+                | Some cap -> if abs occ > cap then ok := false
+                | None -> ())
+             (Engine.occupancies eng);
+           (* Cancellation counters are cumulative: never negative, never
+              decreasing. *)
+           List.iter
+             (fun (c : Netlist.channel) ->
+                let k = Engine.killed eng c.Netlist.ch_id in
+                let prev =
+                  Option.value ~default:0
+                    (Hashtbl.find_opt killed_before c.Netlist.ch_id)
+                in
+                if k < prev || k < 0 then ok := false;
+                Hashtbl.replace killed_before c.Netlist.ch_id k)
+             (Netlist.channels b.net);
+           (* Every delivered result consumed exactly one select token. *)
+           if Engine.delivered eng c_out > Engine.delivered eng c_sel then
+             ok := false
+         done;
+         !ok && safety_violations eng = []) ]
+
 (* --- speculation correctness under random select patterns ----------- *)
 
 let speculation_props =
@@ -375,6 +460,7 @@ let sticky_needs_feedback =
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
-    (pipeline_props @ fork_props @ emux_props @ speculation_props
-     @ transform_props @ refinement_props @ serial_props)
+    (pipeline_props @ fork_props @ emux_props @ antitoken_props
+     @ speculation_props @ transform_props @ refinement_props
+     @ serial_props)
   @ sticky_needs_feedback
