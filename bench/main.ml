@@ -24,6 +24,133 @@ let section title =
   Fmt.pr "== %s@." title;
   Fmt.pr "=====================================================@."
 
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter for the --json trajectory records (the image    *)
+(* has no JSON library; the schema is documented in EXPERIMENTS.md).    *)
+
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+         match c with
+         | '"' -> Buffer.add_string b "\\\""
+         | '\\' -> Buffer.add_string b "\\\\"
+         | '\n' -> Buffer.add_string b "\\n"
+         | '\t' -> Buffer.add_string b "\\t"
+         | '\r' -> Buffer.add_string b "\\r"
+         | c when Char.code c < 0x20 ->
+           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+         | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec emit b ~indent t =
+    let pad n = Buffer.add_string b (String.make n ' ') in
+    match t with
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then
+        Buffer.add_string b (Printf.sprintf "%.6g" f)
+      else Buffer.add_string b "null"
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+           if i > 0 then Buffer.add_string b ",\n";
+           pad (indent + 2);
+           emit b ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+           if i > 0 then Buffer.add_string b ",\n";
+           pad (indent + 2);
+           Buffer.add_char b '"';
+           Buffer.add_string b (escape k);
+           Buffer.add_string b "\": ";
+           emit b ~indent:(indent + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+
+  let to_string t =
+    let b = Buffer.create 1024 in
+    emit b ~indent:0 t;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+
+  let write path t =
+    let oc = open_out path in
+    output_string oc (to_string t);
+    close_out oc
+end
+
+(* Run a design under both evaluation modes and record the settle cost:
+   the [eval_reduction] field is the headline claim — node evaluations
+   per cycle saved by the levelized schedule over the blind fixpoint. *)
+let engine_record ?(cycles = 400) net =
+  let run mode =
+    let eng = Elastic_sim.Engine.create ~monitor:false ~mode net in
+    Elastic_sim.Engine.run eng cycles;
+    eng
+  in
+  let lv = run Elastic_sim.Engine.Levelized in
+  let rf = run Elastic_sim.Engine.Reference in
+  let prof eng =
+    let p = Elastic_sim.Engine.profile eng in
+    let cyc = Elastic_sim.Profile.cycles p in
+    Json.Obj
+      [ ("cycles", Json.Int cyc);
+        ("node_evals", Json.Int (Elastic_sim.Profile.evals p));
+        ("evals_per_cycle",
+         Json.Float (Elastic_sim.Profile.evals_per_cycle p));
+        ("max_settle_passes", Json.Int (Elastic_sim.Profile.max_passes p));
+        ("settle_us_per_cycle",
+         Json.Float
+           (if cyc = 0 then 0.0
+            else
+              Elastic_sim.Profile.wall_seconds p *. 1e6 /. float_of_int cyc)) ]
+  in
+  let sched = Elastic_sim.Engine.schedule lv in
+  let epc eng =
+    Elastic_sim.Profile.evals_per_cycle (Elastic_sim.Engine.profile eng)
+  in
+  Json.Obj
+    [ ("nodes", Json.Int (List.length (Netlist.nodes net)));
+      ("channels", Json.Int (List.length (Netlist.channels net)));
+      ("schedule",
+       Json.Obj
+         [ ("components", Json.Int (Elastic_sim.Schedule.components sched));
+           ("cyclic", Json.Int (Elastic_sim.Schedule.scc_count sched));
+           ("nodes_in_cycles",
+            Json.Int (Elastic_sim.Schedule.scc_nodes sched));
+           ("largest_scc",
+            Json.Int (Elastic_sim.Schedule.largest_scc sched)) ]);
+      ("levelized", prof lv);
+      ("reference", prof rf);
+      ("eval_reduction", Json.Float (epc rf /. epc lv)) ]
+
 let run_windowed net sink cycles =
   let eng = Elastic_sim.Engine.create net in
   Elastic_sim.Engine.run eng cycles;
@@ -468,18 +595,192 @@ let bechamel_suite () =
        | Some _ | None -> Fmt.pr "  %-24s (no estimate)@." name)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable trajectory records, one BENCH_E<k>.json per *)
+(* experiment, written to the current directory.  Each record carries   *)
+(* the experiment's headline numbers plus an [engine] block comparing   *)
+(* the levelized scheduler against the reference fixpoint on that       *)
+(* experiment's main design.  Schema: EXPERIMENTS.md.                   *)
+
+let record ~experiment ~title fields =
+  Json.Obj
+    (("schema", Json.Str "elastic-speculation/bench/v1")
+     :: ("experiment", Json.Str experiment)
+     :: ("title", Json.Str title)
+     :: fields)
+
+let json_e1 ~cycles () =
+  let h = Figures.table1 () in
+  let rows = Figures.table1_trace h in
+  let matches =
+    List.for_all2
+      (fun (label, cells) r ->
+         String.equal label r.Figures.label && cells = r.Figures.cells)
+      table1_expected rows
+  in
+  record ~experiment:"E1" ~title:"Table 1 trace of Fig. 1(d)"
+    [ ("cycle_exact_match", Json.Bool matches);
+      ("rows", Json.Int (List.length rows));
+      ("engine", engine_record ~cycles h.Figures.t1_net) ]
+
+let json_e2 ~cycles () =
+  let params = Figures.default_params in
+  let point name (h : Figures.handles) =
+    let tput = run_windowed h.Figures.net h.Figures.sink cycles in
+    let ct = Timing.cycle_time h.Figures.net in
+    Json.Obj
+      [ ("design", Json.Str name);
+        ("throughput", Json.Float tput);
+        ("bound",
+         Json.Float (Elastic_perf.Marked_graph.throughput_bound h.Figures.net));
+        ("cycle_time", Json.Float ct);
+        ("effective_cycle_time", Json.Float (ct /. tput));
+        ("area", Json.Float (Area.total h.Figures.net)) ]
+  in
+  let d = Figures.fig1d ~params () in
+  record ~experiment:"E2" ~title:"Fig. 1 design points"
+    [ ("points",
+       Json.List
+         [ point "a_nonspeculative" (Figures.fig1a ~params ());
+           point "b_bubble" (Figures.fig1b ~params ());
+           point "c_shannon_early" (Figures.fig1c ~params ());
+           point "d_speculation" d ]);
+      ("engine", engine_record ~cycles d.Figures.net) ]
+
+let json_e3 () =
+  let outcomes =
+    List.map
+      (fun (name, net) ->
+         let o = Elastic_check.Explore.explore net in
+         Json.Obj
+           [ ("controller", Json.Str name);
+             ("states", Json.Int o.Elastic_check.Explore.explored);
+             ("transitions", Json.Int o.Elastic_check.Explore.transitions);
+             ("verified", Json.Bool (Elastic_check.Explore.clean o)) ])
+      (zoo ())
+  in
+  record ~experiment:"E3" ~title:"exhaustive controller verification"
+    [ ("controllers", Json.List outcomes) ]
+
+let json_e5 ~n ~pcts () =
+  let points =
+    List.map
+      (fun pct ->
+         let ops = Alu.operands ~error_rate_pct:pct ~seed:42 n in
+         let ds = Examples.vl_stalling ~ops in
+         let dp = Examples.vl_speculative ~ops in
+         let ts = run_windowed ds.Examples.d_net ds.Examples.d_sink (2 * n) in
+         let tp = run_windowed dp.Examples.d_net dp.Examples.d_sink (2 * n) in
+         Json.Obj
+           [ ("error_rate_pct", Json.Int pct);
+             ("stalling_throughput", Json.Float ts);
+             ("speculative_throughput", Json.Float tp) ])
+      pcts
+  in
+  let ops = Alu.operands ~error_rate_pct:5 ~seed:42 n in
+  let ds = Examples.vl_stalling ~ops in
+  let dp = Examples.vl_speculative ~ops in
+  let cs = Timing.cycle_time ds.Examples.d_net in
+  let cp = Timing.cycle_time dp.Examples.d_net in
+  record ~experiment:"E5" ~title:"variable-latency ALU (Fig. 6)"
+    [ ("points", Json.List points);
+      ("cycle_time_improvement_pct",
+       Json.Float (100.0 *. (1.0 -. (cp /. cs))));
+      ("area_overhead_pct",
+       Json.Float
+         (let a = Area.total ds.Examples.d_net in
+          100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
+      ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
+
+let json_e6 ~n ~pcts () =
+  let points =
+    List.map
+      (fun pct ->
+         let ops = Examples.rs_ops ~error_rate_pct:pct ~seed:5 n in
+         let measure (d : Examples.design) =
+           let eng = Elastic_sim.Engine.create d.Examples.d_net in
+           Elastic_sim.Engine.run eng (2 * n);
+           let stream =
+             Elastic_sim.Engine.sink_stream eng d.Examples.d_sink
+           in
+           assert
+             (List.equal Value.equal (Transfer.values stream)
+                (Examples.rs_reference ops));
+           let first =
+             match Transfer.entries stream with
+             | e :: _ -> e.Transfer.cycle
+             | [] -> -1
+           in
+           (Elastic_sim.Engine.windowed_throughput eng d.Examples.d_sink,
+            first)
+         in
+         let tn, ln = measure (Examples.rs_nonspeculative ~ops) in
+         let ts, ls = measure (Examples.rs_speculative ~ops) in
+         Json.Obj
+           [ ("error_rate_pct", Json.Int pct);
+             ("nonspec_throughput", Json.Float tn);
+             ("nonspec_first_delivery", Json.Int ln);
+             ("spec_throughput", Json.Float ts);
+             ("spec_first_delivery", Json.Int ls) ])
+      pcts
+  in
+  let ops = Examples.rs_ops ~error_rate_pct:5 ~seed:5 n in
+  let dn = Examples.rs_nonspeculative ~ops in
+  let dp = Examples.rs_speculative ~ops in
+  record ~experiment:"E6" ~title:"SECDED-protected adder (Fig. 7)"
+    [ ("points", Json.List points);
+      ("area_overhead_pct",
+       Json.Float
+         (let a = Area.total dn.Examples.d_net in
+          100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
+      ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
+
+let json_mode ~quick () =
+  let n = if quick then 100 else 400 in
+  let e5_pcts = if quick then [ 0; 5; 20 ] else [ 0; 1; 5; 10; 20; 40 ] in
+  let e6_pcts = if quick then [ 0; 5; 25 ] else [ 0; 2; 5; 10; 25 ] in
+  let files =
+    [ ("BENCH_E1.json", json_e1 ~cycles:64 ());
+      ("BENCH_E2.json", json_e2 ~cycles:n ());
+      ("BENCH_E3.json", json_e3 ());
+      ("BENCH_E5.json", json_e5 ~n ~pcts:e5_pcts ());
+      ("BENCH_E6.json", json_e6 ~n ~pcts:e6_pcts ()) ]
+  in
+  List.iter
+    (fun (path, j) ->
+       Json.write path j;
+       let reduction =
+         match j with
+         | Json.Obj fields -> (
+             match List.assoc_opt "engine" fields with
+             | Some (Json.Obj e) -> (
+                 match List.assoc_opt "eval_reduction" e with
+                 | Some (Json.Float r) -> Fmt.str " (eval reduction %.2fx)" r
+                 | _ -> "")
+             | _ -> "")
+         | _ -> ""
+       in
+       Fmt.pr "wrote %s%s@." path reduction)
+    files
+
 let () =
-  Fmt.pr
-    "Reproduction harness for \"Speculation in Elastic Systems\" (DAC \
-     2009)@.";
-  e1_table1 ();
-  e2_fig1 ();
-  e3_e4_verify ();
-  e5_fig6 ();
-  e6_fig7 ();
-  e7_faults ();
-  a1_recovery ();
-  a2_schedulers ();
-  a3_branch_prediction ();
-  bechamel_suite ();
-  Fmt.pr "@.done.@."
+  let args = Array.to_list Sys.argv in
+  let json = List.mem "--json" args in
+  let quick = List.mem "--quick" args in
+  if json then json_mode ~quick ()
+  else begin
+    Fmt.pr
+      "Reproduction harness for \"Speculation in Elastic Systems\" (DAC \
+       2009)@.";
+    e1_table1 ();
+    e2_fig1 ();
+    e3_e4_verify ();
+    e5_fig6 ();
+    e6_fig7 ();
+    e7_faults ();
+    a1_recovery ();
+    a2_schedulers ();
+    a3_branch_prediction ();
+    bechamel_suite ();
+    Fmt.pr "@.done.@."
+  end

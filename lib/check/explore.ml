@@ -75,8 +75,8 @@ type state_info = {
       (** destination, per-channel progress, per-channel pending. *)
 }
 
-let explore ?(config = default_config) net =
-  let eng = Engine.create ~monitor:false net in
+let explore ?(config = default_config) ?mode net =
+  let eng = Engine.create ~monitor:false ?mode net in
   let chans = Array.of_list (Netlist.channels net) in
   let nchan = Array.length chans in
   (* Shared-module outputs are exempt from forward persistence (§4.2). *)

@@ -50,6 +50,10 @@ val pp_outcome : Format.formatter -> outcome -> unit
 val clean : outcome -> bool
 
 (** [explore net] runs the exhaustive check.
+    @param mode engine evaluation strategy (default {!Engine.Levelized});
+    the outcome is identical either way — exposed for differential tests.
     @raise Invalid_argument when a single step has more nondeterministic
     combinations than the configured cap. *)
-val explore : ?config:config -> Netlist.t -> outcome
+val explore :
+  ?config:config -> ?mode:Elastic_sim.Engine.eval_mode -> Netlist.t ->
+  outcome

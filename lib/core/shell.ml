@@ -38,6 +38,7 @@ let help =
   throughput [cycles]      simulate and report per-sink throughput
   stats [cycles]           per-channel utilization and stall ratios
   trace [cycles]           Table-1-style trace of every channel
+  profile [cycles]         evaluation schedule and per-node settle cost
   cycletime                static cycle-time analysis
   area                     gate-equivalent area
   bound                    marked-graph throughput bound
@@ -479,6 +480,28 @@ let execute_cmd s line =
             Elastic_sim.Engine.run eng cycles;
             Ok (Fmt.str "%a" Elastic_sim.Stats.pp
                   (Elastic_sim.Stats.collect eng))))
+  | "profile" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [ n ] -> Option.value (int_of_string_opt n) ~default:200
+          | _ -> 200
+        in
+        catch (fun () ->
+            let eng = Elastic_sim.Engine.create net in
+            Elastic_sim.Engine.run eng cycles;
+            let names =
+              Array.of_list
+                (List.map
+                   (fun (n : Netlist.node) -> n.Netlist.name)
+                   (Netlist.nodes net))
+            in
+            Ok
+              (Fmt.str "@[<v>schedule: %a@,%a@]"
+                 Elastic_sim.Schedule.pp_stats
+                 (Elastic_sim.Engine.schedule eng)
+                 (Elastic_sim.Profile.pp ~name:(fun i -> names.(i)))
+                 (Elastic_sim.Engine.profile eng))))
   | "trace" :: rest ->
     with_net s (fun net ->
         let cycles =

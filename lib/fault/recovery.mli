@@ -45,11 +45,14 @@ val pp_report : Format.formatter -> report -> unit
     @param alarms sink nodes that are error {e detectors} rather than
     data outputs: their streams are excluded from equivalence checking
     and the fault counts as [Detected] when the predicate holds for more
-    faulted-run values than reference-run values. *)
+    faulted-run values than reference-run values.
+    @param mode engine evaluation strategy for both runs (default
+    {!Engine.Levelized}); exposed for differential tests. *)
 val check :
   ?cycles:int ->
   ?settle:int ->
   ?alarms:(Netlist.node_id * (Value.t -> bool)) list ->
+  ?mode:Elastic_sim.Engine.eval_mode ->
   Netlist.t ->
   faults:Fault.t list ->
   report

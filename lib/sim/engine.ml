@@ -28,6 +28,8 @@ let error_to_string e = Fmt.str "%a" pp_error e
 
 type injector = cycle:int -> Netlist.channel_id -> Wires.override option
 
+type eval_mode = Levelized | Reference
+
 type compiled = {
   inst : Instance.t;
   in_ch : int array;  (* dense wire index per In port *)
@@ -43,6 +45,12 @@ type t = {
   ch_index : (Netlist.channel_id, int) Hashtbl.t;
   monitors : Protocol.monitor array;  (* empty if monitoring disabled *)
   liveness_bound : int;
+  mode : eval_mode;
+  schedule : Schedule.t;
+  profile : Profile.t;
+  max_passes : int;
+  cycle_evals : int array;  (* per-node eval calls within this cycle *)
+  dirty : bool array;  (* scratch for local SCC iteration *)
   mutable cycle : int;
   mutable last_signals : Signal.t array;
   mutable last_events : Signal.events array;
@@ -65,7 +73,8 @@ let dense_index t cid =
   | None ->
     fail ~cycle:t.cycle ~channel:cid (Fmt.str "unknown channel id %d" cid)
 
-let create ?(monitor = true) ?(liveness_bound = 64) net =
+let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
+    ?max_passes net =
   (match Netlist.validate net with
    | [] -> ()
    | ps ->
@@ -141,7 +150,17 @@ let create ?(monitor = true) ?(liveness_bound = 64) net =
        | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
        | Netlist.Varlat _ -> ())
     (Netlist.nodes net);
+  (* Monotone evaluation writes each of a channel's five fields at most
+     once, so [5 * nchan] passes always suffice; the slack covers the
+     final no-progress pass on tiny netlists. *)
+  let default_max_passes = (5 * Array.length chans) + 16 in
   { net; ws; compiled; chans; ch_index; monitors; liveness_bound;
+    mode;
+    schedule = Schedule.build net;
+    profile = Profile.create ~n_nodes:(Array.length compiled);
+    max_passes = Option.value max_passes ~default:default_max_passes;
+    cycle_evals = Array.make (max (Array.length compiled) 1) 0;
+    dirty = Array.make (max (Array.length compiled) 1) false;
     cycle = 0;
     last_signals = Array.make (Array.length chans) Signal.idle;
     last_events =
@@ -170,35 +189,121 @@ let netlist t = t.net
 
 let cycle t = t.cycle
 
+let mode t = t.mode
+
+let profile t = t.profile
+
+let schedule t = t.schedule
+
+let eval_node t i =
+  let c = t.compiled.(i) in
+  Profile.note_eval t.profile i;
+  t.cycle_evals.(i) <- t.cycle_evals.(i) + 1;
+  try Instance.eval t.ws c.inst with
+  | Wires.Conflict { wire; field } ->
+    let ch = t.chans.(wire) in
+    fail ~cycle:t.cycle ~node:ch.Netlist.src.Netlist.ep_node
+      ~channel:ch.Netlist.ch_id
+      (Fmt.str "conflicting write to %s of channel %s" field
+         ch.Netlist.ch_name)
+  | (Assert_failure _ | Invalid_argument _) as e ->
+    (* Internal node invariants can only break under injected
+       faults; report them with provenance instead of a bare
+       backtrace. *)
+    fail ~cycle:t.cycle ~node:(Instance.node c.inst).Netlist.id
+      (Fmt.str "node invariant violated during evaluation: %s"
+         (Printexc.to_string e))
+
+(* Name the channels whose wires changed during the final pass — the
+   diff of the last two passes is exactly the non-converging set. *)
+let non_convergence_error t ~passes =
+  let changing = List.sort_uniq compare (Wires.written t.ws) in
+  let names =
+    List.map (fun i -> t.chans.(i).Netlist.ch_name) changing
+  in
+  let node, channel =
+    match changing with
+    | [] -> (None, None)
+    | i :: _ ->
+      (Some t.chans.(i).Netlist.src.Netlist.ep_node,
+       Some t.chans.(i).Netlist.ch_id)
+  in
+  raise
+    (Simulation_error
+       (error ?node ?channel ~cycle:t.cycle
+          (Fmt.str
+             "combinational evaluation did not converge after %d passes; \
+              channels still changing between the last two passes: %s"
+             passes
+             (String.concat ", " names))))
+
 let fixpoint t =
-  let max_passes = (4 * Array.length t.chans) + 16 in
-  let eval_all () =
-    Array.iter
-      (fun c ->
-         try Instance.eval t.ws c.inst with
-         | Wires.Conflict { wire; field } ->
-           let ch = t.chans.(wire) in
-           fail ~cycle:t.cycle ~node:ch.Netlist.src.Netlist.ep_node
-             ~channel:ch.Netlist.ch_id
-             (Fmt.str "conflicting write to %s of channel %s" field
-                ch.Netlist.ch_name)
-         | (Assert_failure _ | Invalid_argument _) as e ->
-           (* Internal node invariants can only break under injected
-              faults; report them with provenance instead of a bare
-              backtrace. *)
-           fail ~cycle:t.cycle ~node:(Instance.node c.inst).Netlist.id
-             (Fmt.str "node invariant violated during evaluation: %s"
-                (Printexc.to_string e)))
-      t.compiled
-  in
   let rec go pass =
-    if pass > max_passes then
-      fail ~cycle:t.cycle "combinational evaluation did not converge";
     Wires.clear_progress t.ws;
-    eval_all ();
-    if Wires.progress t.ws then go (pass + 1)
+    for i = 0 to Array.length t.compiled - 1 do
+      eval_node t i
+    done;
+    if Wires.progress t.ws then
+      if pass >= t.max_passes then
+        non_convergence_error t ~passes:(pass + 1)
+      else go (pass + 1)
   in
-  go 0;
+  go 0
+
+(* Evaluate components in topological order: an acyclic node settles in
+   one pass; inside a cyclic region a node re-evaluates only when a wire
+   it reads was actually written since its last evaluation. *)
+let settle_levelized t =
+  let sched = t.schedule in
+  Array.iter
+    (function
+      | Schedule.Single i ->
+        Wires.clear_progress t.ws;
+        eval_node t i
+      | Schedule.Scc members ->
+        let comp = sched.Schedule.comp_of.(members.(0)) in
+        let q = Queue.create () in
+        Array.iter
+          (fun i ->
+             t.dirty.(i) <- true;
+             Queue.push i q)
+          members;
+        (* Monotone write-once wires bound the iteration; the budget is a
+           safety valve against a non-monotone eval bug. *)
+        let budget =
+          ref ((Array.length members * ((5 * Array.length t.chans) + 2)) + 16)
+        in
+        while not (Queue.is_empty q) do
+          decr budget;
+          if !budget < 0 then non_convergence_error t ~passes:t.max_passes;
+          let i = Queue.pop q in
+          t.dirty.(i) <- false;
+          Wires.clear_progress t.ws;
+          eval_node t i;
+          if Wires.progress t.ws then
+            List.iter
+              (fun c ->
+                 let readers =
+                   if sched.Schedule.src_of.(c) = i then
+                     sched.Schedule.readers_f.(c)
+                   else sched.Schedule.readers_b.(c)
+                 in
+                 Array.iter
+                   (fun r ->
+                      if
+                        sched.Schedule.comp_of.(r) = comp
+                        && (not t.dirty.(r))
+                        && r <> i
+                      then begin
+                        t.dirty.(r) <- true;
+                        Queue.push r q
+                      end)
+                   readers)
+              (Wires.written t.ws)
+        done)
+    sched.Schedule.order
+
+let check_determined t =
   if Wires.unknown_count t.ws > 0 then begin
     let undetermined =
       Array.to_list t.chans
@@ -250,7 +355,15 @@ let step ?(choices = fun _ -> None) t =
        Instance.begin_cycle c.inst
          ~choice:(choices (Instance.node c.inst).Netlist.id))
     t.compiled;
-  fixpoint t;
+  Array.fill t.cycle_evals 0 (Array.length t.cycle_evals) 0;
+  let t0 = Unix.gettimeofday () in
+  (match t.mode with
+   | Levelized -> settle_levelized t
+   | Reference -> fixpoint t);
+  check_determined t;
+  let passes = Array.fold_left max 0 t.cycle_evals in
+  Profile.record_cycle t.profile ~passes
+    ~seconds:(Unix.gettimeofday () -. t0);
   let n = Array.length t.chans in
   let signals =
     Array.init n (fun i -> Wires.to_signal (Wires.wire t.ws i))

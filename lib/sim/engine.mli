@@ -41,16 +41,45 @@ type injector = cycle:int -> Netlist.channel_id -> Wires.override option
 
 type t
 
+(** How the combinational phase of each cycle is evaluated.
+
+    [Levelized] (the default) evaluates nodes in the topological order of
+    the condensed dependency graph computed by {!Schedule.build}: acyclic
+    nodes settle in a single evaluation and only cyclic elastic-control
+    regions iterate locally, driven by a dirty set of changed wires.
+
+    [Reference] is the original blind fixpoint — every node is
+    re-evaluated in every pass until no wire changes.  It is kept as the
+    oracle for differential testing; both modes reach the same unique
+    fixed point (node equations are monotone over the 3-valued wires). *)
+type eval_mode = Levelized | Reference
+
 (** [create netlist] compiles and validates the netlist.
 
     @param monitor enable protocol monitors (default [true]).
-    @param liveness_bound watchdog threshold in cycles (default [64]). *)
-val create : ?monitor:bool -> ?liveness_bound:int -> Netlist.t -> t
+    @param liveness_bound watchdog threshold in cycles (default [64]).
+    @param mode combinational evaluation strategy (default [Levelized]).
+    @param max_passes cap on global fixpoint passes in [Reference] mode
+    before {!step} raises the non-convergence error naming the channels
+    that were still changing (default [5 * channels + 16], which monotone
+    evaluation can never exceed). *)
+val create :
+  ?monitor:bool -> ?liveness_bound:int -> ?mode:eval_mode ->
+  ?max_passes:int -> Netlist.t -> t
 
 val netlist : t -> Netlist.t
 
 (** Cycles simulated so far. *)
 val cycle : t -> int
+
+val mode : t -> eval_mode
+
+(** Evaluation-cost counters accumulated since creation. *)
+val profile : t -> Profile.t
+
+(** The static evaluation schedule (also built in [Reference] mode, for
+    its statistics). *)
+val schedule : t -> Schedule.t
 
 (** Install (or remove, with [None]) the fault injector consulted at the
     start of every subsequent {!step}.  The engine itself is unchanged:

@@ -1,0 +1,54 @@
+(** Evaluation-cost observability for the engine.
+
+    Every {!Engine.step} records how many node evaluations the
+    combinational settle phase took, how those evaluations distribute
+    over nodes, how many passes the slowest region needed, and the wall
+    clock spent settling.  The shell's [profile] command and the bench's
+    [--json] trajectory records are rendered from this. *)
+
+type t
+
+(** [create ~n_nodes] starts an empty profile over [n_nodes] dense node
+    indices. *)
+val create : n_nodes:int -> t
+
+val reset : t -> unit
+
+(** {1 Recording (called by the engine)} *)
+
+(** One evaluation of node [i]. *)
+val note_eval : t -> int -> unit
+
+(** End of one settle phase: the cycle's pass count (the most times any
+    single node was evaluated) and its wall-clock duration. *)
+val record_cycle : t -> passes:int -> seconds:float -> unit
+
+(** {1 Reading} *)
+
+val cycles : t -> int
+
+(** Total node evaluations across all cycles. *)
+val evals : t -> int
+
+val evals_per_cycle : t -> float
+
+(** Accumulated wall-clock seconds spent in settle phases. *)
+val wall_seconds : t -> float
+
+(** Worst settle pass count over all cycles. *)
+val max_passes : t -> int
+
+(** Cumulative eval calls of one dense node index. *)
+val node_evals : t -> int -> int
+
+(** [(passes, cycles)] pairs, ascending: how many cycles needed each
+    pass count. *)
+val pass_histogram : t -> (int * int) list
+
+(** The [n] most-evaluated nodes as [(dense index, eval count)],
+    descending. *)
+val top_nodes : t -> int -> (int * int) list
+
+(** [pp ~name] renders a report; [name] maps dense node indices to
+    display names. *)
+val pp : ?name:(int -> string) -> Format.formatter -> t -> unit

@@ -25,14 +25,19 @@ type wire = {
   id : int;
 }
 
-type t = { wires : wire array; mutable progress : bool }
+type t = {
+  wires : wire array;
+  mutable progress : bool;
+  mutable written : int list;  (* wires written since [clear_progress] *)
+}
 
 let create n =
   { wires =
       Array.init n (fun id ->
           { v_plus = None; s_plus = None; v_minus = None; s_minus = None;
             data = None; ov = no_override; id });
-    progress = false }
+    progress = false;
+    written = [] }
 
 let wire t i = t.wires.(i)
 
@@ -45,11 +50,16 @@ let reset t =
        w.s_minus <- None;
        w.data <- None)
     t.wires;
-  t.progress <- false
+  t.progress <- false;
+  t.written <- []
 
 let progress t = t.progress
 
-let clear_progress t = t.progress <- false
+let clear_progress t =
+  t.progress <- false;
+  t.written <- []
+
+let written t = t.written
 
 let unknown_count t =
   Array.fold_left
@@ -98,7 +108,8 @@ let set_bit t w field_name force get set b =
   match get w with
   | None ->
     set w (Some b);
-    t.progress <- true
+    t.progress <- true;
+    t.written <- w.id :: t.written
   | Some b' ->
     if b' <> b then raise (Conflict { wire = w.id; field = field_name })
 
@@ -123,7 +134,8 @@ let set_data t w v =
   match w.data with
   | None ->
     w.data <- Some v;
-    t.progress <- true
+    t.progress <- true;
+    t.written <- w.id :: t.written
   | Some v' ->
     if not (Value.equal v v') then
       raise (Conflict { wire = w.id; field = "data" })

@@ -16,6 +16,8 @@ let () =
       ("emitters", Test_emitters.suite);
       ("shell", Test_shell.suite);
       ("sim.property", Test_sim_property.suite);
+      ("sim.equiv", Test_engine_equiv.suite);
+      ("golden", Test_golden.suite);
       ("sim.more", Test_sim_more.suite);
       ("fault", Test_fault.suite);
       ("serial", Test_serial.suite);

@@ -280,4 +280,36 @@ let suite =
           (try
              ignore (Explore.explore b.net);
              false
-           with Invalid_argument _ -> true)) ]
+           with Invalid_argument _ -> true));
+    Alcotest.test_case
+      "exploration is deterministic and evaluation-mode independent"
+      `Quick (fun () ->
+        let mk () =
+          let b = builder () in
+          let sel = nsrc b ~name:"sel" [ Value.Int 0; Value.Int 1 ] in
+          let s0 = nsrc b ~name:"d0" [ Value.Int 10 ] in
+          let s1 = nsrc b ~name:"d1" [ Value.Int 20 ] in
+          let e0 = eb b () in
+          let m = add b (Mux { ways = 2; early = true }) in
+          let k = nsink b () in
+          let _ = conn b (sel, Out 0) (m, Sel) in
+          let _ = conn b (s0, Out 0) (e0, In 0) in
+          let _ = conn b (e0, Out 0) (m, In 0) in
+          let _ = conn b (s1, Out 0) (m, In 1) in
+          let _ = conn b (m, Out 0) (k, In 0) in
+          b.net
+        in
+        let fingerprint (o : Explore.outcome) =
+          (o.Explore.explored, o.Explore.transitions, o.Explore.complete,
+           o.Explore.protocol_violations, o.Explore.deadlock_states,
+           o.Explore.starving_channels)
+        in
+        let a = fingerprint (Explore.explore (mk ())) in
+        let b' = fingerprint (Explore.explore (mk ())) in
+        if a <> b' then Alcotest.fail "two runs differ";
+        let r =
+          fingerprint
+            (Explore.explore ~mode:Elastic_sim.Engine.Reference (mk ()))
+        in
+        if a <> r then
+          Alcotest.fail "levelized and reference exploration differ") ]

@@ -1,0 +1,288 @@
+open Elastic_kernel
+open Elastic_netlist
+open Elastic_sim
+open Elastic_core
+open Elastic_datapath
+open Helpers
+
+(* Differential testing of the levelized scheduler (the default
+   evaluation mode) against the reference fixpoint it replaced: on every
+   design — the paper's figures and examples, random pipelines and mux
+   diamonds, with and without fault injection — both modes must produce
+   bit-identical signal traces, sink streams, statistics counters and
+   final register state. *)
+
+let violation_keys eng =
+  List.map
+    (fun (ch, v) -> (ch, v.Protocol.property))
+    (Engine.violations eng)
+
+let sinks_of net =
+  List.filter_map
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Sink _ -> Some n.Netlist.id
+       | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _
+       | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
+       | Netlist.Varlat _ -> None)
+    (Netlist.nodes net)
+
+(* Run both modes in lockstep, comparing every channel's resolved signal
+   on every cycle, then the cumulative observations.  Fault plans are
+   stateful, so each engine gets its own identical plan.  If one mode
+   raises, the other must raise the same error on the same cycle. *)
+let run_pair ~name ?(cycles = 200) ?faults net =
+  let make mode =
+    let eng = Engine.create ~mode net in
+    let step =
+      match faults with
+      | None -> fun () -> Engine.step eng
+      | Some fs ->
+        let plan = Elastic_fault.Fault.plan net fs in
+        Engine.set_injector eng (Some (Elastic_fault.Fault.injector plan));
+        fun () ->
+          Engine.step eng ~choices:(fun nid ->
+              Elastic_fault.Fault.choices plan ~cycle:(Engine.cycle eng)
+                nid);
+          Elastic_fault.Fault.observe plan eng
+    in
+    (eng, step)
+  in
+  let el, stepl = make Engine.Levelized in
+  let er, stepr = make Engine.Reference in
+  let chans = Netlist.channels net in
+  let safe step =
+    try
+      step ();
+      None
+    with Engine.Simulation_error e -> Some (Engine.error_to_string e)
+  in
+  let rec loop cyc =
+    if cyc > cycles then false
+    else
+      match (safe stepl, safe stepr) with
+      | None, None ->
+        List.iter
+          (fun (c : Netlist.channel) ->
+             let sl = Engine.signal el c.Netlist.ch_id
+             and sr = Engine.signal er c.Netlist.ch_id in
+             if not (Signal.equal sl sr) then
+               Alcotest.failf
+                 "%s: cycle %d, channel %s: levelized %a but reference %a"
+                 name cyc c.Netlist.ch_name Signal.pp sl Signal.pp sr)
+          chans;
+        loop (cyc + 1)
+      | Some a, Some b ->
+        Alcotest.(check string)
+          (Fmt.str "%s: identical failure at cycle %d" name cyc)
+          b a;
+        true
+      | Some a, None ->
+        Alcotest.failf "%s: cycle %d: only levelized raised: %s" name cyc a
+      | None, Some b ->
+        Alcotest.failf "%s: cycle %d: only reference raised: %s" name cyc b
+  in
+  let crashed = loop 1 in
+  if not crashed then begin
+    List.iter
+      (fun (c : Netlist.channel) ->
+         let id = c.Netlist.ch_id in
+         Alcotest.(check int)
+           (Fmt.str "%s: delivered on %s" name c.Netlist.ch_name)
+           (Engine.delivered er id) (Engine.delivered el id);
+         Alcotest.(check int)
+           (Fmt.str "%s: killed on %s" name c.Netlist.ch_name)
+           (Engine.killed er id) (Engine.killed el id);
+         Alcotest.(check (triple int int int))
+           (Fmt.str "%s: activity on %s" name c.Netlist.ch_name)
+           (Engine.activity er id) (Engine.activity el id))
+      chans;
+    List.iter
+      (fun snk ->
+         let entries eng =
+           List.map
+             (fun (e : Transfer.entry) -> (e.Transfer.cycle, e.Transfer.value))
+             (Transfer.entries (Engine.sink_stream eng snk))
+         in
+         Alcotest.(check (list (pair int value)))
+           (Fmt.str "%s: sink stream" name)
+           (entries er) (entries el))
+      (sinks_of net);
+    Alcotest.(check (list (pair string string)))
+      (Fmt.str "%s: protocol violations" name)
+      (violation_keys er) (violation_keys el);
+    Alcotest.(check string)
+      (Fmt.str "%s: final register state" name)
+      (Engine.state_key er) (Engine.state_key el)
+  end
+
+(* --- the paper's designs ------------------------------------------- *)
+
+let design_cases =
+  let case name mk =
+    Alcotest.test_case name `Quick (fun () -> run_pair ~name (mk ()))
+  in
+  [ case "fig1a" (fun () -> (Figures.fig1a ()).Figures.net);
+    case "fig1b" (fun () -> (Figures.fig1b ()).Figures.net);
+    case "fig1c" (fun () -> (Figures.fig1c ()).Figures.net);
+    case "fig1d" (fun () -> (Figures.fig1d ()).Figures.net);
+    case "table1" (fun () -> (Figures.table1 ()).Figures.t1_net);
+    case "vl_stalling" (fun () ->
+        let ops = Alu.operands ~error_rate_pct:10 ~seed:7 100 in
+        (Examples.vl_stalling ~ops).Examples.d_net);
+    case "vl_speculative" (fun () ->
+        let ops = Alu.operands ~error_rate_pct:10 ~seed:7 100 in
+        (Examples.vl_speculative ~ops).Examples.d_net);
+    case "rs_nonspeculative" (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:10 ~seed:5 100 in
+        (Examples.rs_nonspeculative ~ops).Examples.d_net);
+    case "rs_speculative" (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:10 ~seed:5 100 in
+        (Examples.rs_speculative ~ops).Examples.d_net);
+    case "pc_loop" (fun () -> (Examples.pc_loop ()).Examples.pl_net) ]
+
+(* --- the same designs under fault injection ------------------------- *)
+
+let first_channel net = (List.hd (Netlist.channels net)).Netlist.ch_id
+
+let fault_cases =
+  let open Elastic_fault in
+  let case name mk_net mk_faults =
+    Alcotest.test_case (name ^ " under faults") `Quick (fun () ->
+        let net = mk_net () in
+        run_pair ~name ~cycles:120 ~faults:(mk_faults net) net)
+  in
+  [ case "rs_speculative" (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:5 ~seed:5 60 in
+        (Examples.rs_speculative ~ops).Examples.d_net)
+      (fun net ->
+         let ch = first_channel net in
+         [ Fault.flip_bit ~channel:ch ~cycle:10 3;
+           Fault.drop_token ~channel:ch ~cycle:30;
+           Fault.stuck_stall ~channel:ch ~cycle:50 ~duration:3 ]);
+    case "fig1d" (fun () -> (Figures.fig1d ()).Figures.net)
+      (fun net ->
+         let ch = first_channel net in
+         Fault.control_glitch ~channel:ch ~cycle:25
+         @ [ Fault.duplicate_token ~channel:ch ~cycle:60 ]) ]
+
+(* --- random structures ---------------------------------------------- *)
+
+let pipe_equiv =
+  let open QCheck in
+  Test.make ~name:"qcheck: levelized = reference on random pipelines"
+    ~count:120
+    (make ~print:Test_sim_property.print_pipe Test_sim_property.gen_pipe)
+    (fun p ->
+       let net, _, _, _ = Test_sim_property.build_pipe p in
+       run_pair ~name:"pipe" net;
+       true)
+
+type diamond = {
+  d_early : bool;
+  d_sel : int list;  (* 0/1 select stream *)
+  d_buf : Netlist.buffer_kind;
+  d_stall : int;
+  d_seed : int;
+}
+
+let gen_diamond =
+  let open QCheck.Gen in
+  let* d_early = bool in
+  let* d_sel = list_size (int_range 5 40) (int_bound 1) in
+  let* d_buf = oneofl [ Netlist.Eb; Netlist.Eb0 ] in
+  let* d_stall = int_bound 80 in
+  let* d_seed = int_bound 10000 in
+  return { d_early; d_sel; d_buf; d_stall; d_seed }
+
+let print_diamond d =
+  Fmt.str "early=%b buf=%s stall=%d%% seed=%d sel=[%a]" d.d_early
+    (Netlist.buffer_kind_name d.d_buf)
+    d.d_stall d.d_seed
+    Fmt.(list ~sep:nop int)
+    d.d_sel
+
+(* A mux diamond: one buffered input arm, so an early mux steers
+   anti-tokens into the arm it did not pick. *)
+let build_diamond d =
+  let b = builder () in
+  let sel = add b ~name:"sel" (Source (Stream (ints d.d_sel))) in
+  let s0 = add b ~name:"s0" (Source (Counter { start = 0; step = 1 })) in
+  let s1 = add b ~name:"s1" (Source (Counter { start = 100; step = 1 })) in
+  let e = add b ~name:"arm" (Buffer { buffer = d.d_buf; init = [] }) in
+  let m = add b ~name:"mux" (Mux { ways = 2; early = d.d_early }) in
+  let k =
+    add b ~name:"snk"
+      (Sink (Random_stall { pct = d.d_stall; seed = d.d_seed }))
+  in
+  let _ = conn b (sel, Out 0) (m, Sel) in
+  let _ = conn b (s0, Out 0) (e, In 0) in
+  let _ = conn b (e, Out 0) (m, In 0) in
+  let _ = conn b (s1, Out 0) (m, In 1) in
+  let _ = conn b (m, Out 0) (k, In 0) in
+  b.net
+
+let diamond_equiv =
+  let open QCheck in
+  Test.make ~name:"qcheck: levelized = reference on random mux diamonds"
+    ~count:120
+    (make ~print:print_diamond gen_diamond)
+    (fun d ->
+       run_pair ~name:"diamond" (build_diamond d);
+       true)
+
+let faulted_pipe_equiv =
+  let open QCheck in
+  Test.make
+    ~name:"qcheck: levelized = reference on faulted random pipelines"
+    ~count:60
+    (make ~print:Test_sim_property.print_pipe Test_sim_property.gen_pipe)
+    (fun p ->
+       let net, _, src_out, _ = Test_sim_property.build_pipe p in
+       let open Elastic_fault in
+       let faults =
+         [ Fault.flip_bit ~channel:src_out ~cycle:(5 + (p.Test_sim_property.seed mod 40)) 1;
+           Fault.drop_token ~channel:src_out
+             ~cycle:(10 + (p.Test_sim_property.seed mod 30));
+           Fault.stuck_stall ~channel:src_out
+             ~cycle:(20 + (p.Test_sim_property.seed mod 20))
+             ~duration:2 ]
+       in
+       run_pair ~name:"faulted pipe" ~faults net;
+       true)
+
+(* --- convergence-failure diagnostics -------------------------------- *)
+
+(* With the pass budget forced to zero, the reference fixpoint's very
+   first (always-productive) pass trips the non-convergence error, which
+   must name the channels that were still changing. *)
+let convergence_error_names_channels () =
+  let b = builder () in
+  let s = src_stream b ~name:"src" [ 1; 2; 3 ] in
+  let e = eb b ~name:"buf" () in
+  let k = sink b ~name:"snk" () in
+  let _ = conn b (s, Out 0) (e, In 0) in
+  let _ = conn b (e, Out 0) (k, In 0) in
+  let eng = Engine.create ~mode:Engine.Reference ~max_passes:0 b.net in
+  match Engine.step eng with
+  | () -> Alcotest.fail "expected a non-convergence error"
+  | exception Engine.Simulation_error err ->
+    if not (contains err.Engine.err_msg "did not converge") then
+      Alcotest.failf "unexpected message: %s" err.Engine.err_msg;
+    Alcotest.(check bool) "a channel is identified" true
+      (err.Engine.err_channel <> None);
+    let named =
+      List.filter
+        (fun (c : Netlist.channel) ->
+           contains err.Engine.err_msg c.Netlist.ch_name)
+        (Netlist.channels b.net)
+    in
+    if named = [] then
+      Alcotest.failf "no channel named in: %s" err.Engine.err_msg
+
+let suite =
+  design_cases @ fault_cases
+  @ List.map QCheck_alcotest.to_alcotest
+      [ pipe_equiv; diamond_equiv; faulted_pipe_equiv ]
+  @ [ Alcotest.test_case "non-convergence error names the channels" `Quick
+        convergence_error_names_channels ]
