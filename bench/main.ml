@@ -157,6 +157,91 @@ let run_windowed net sink cycles =
   Elastic_sim.Engine.windowed_throughput eng sink
 
 (* ------------------------------------------------------------------ *)
+(* Observability fields (lib/trace): speculation timelines and stall    *)
+(* attribution distilled from one traced run of the experiment's main   *)
+(* design; with [--trace] the run's VCD and JSONL artifacts are written *)
+(* next to the BENCH records.                                           *)
+
+module Trace = Elastic_trace
+
+let timeline_json net tls =
+  Json.List
+    (List.map
+       (fun (tl : Trace.Timeline.sched_timeline) ->
+          Json.Obj
+            [ ("scheduler",
+               Json.Str
+                 (Netlist.node net tl.Trace.Timeline.tl_node).Netlist.name);
+              ("serves", Json.Int tl.Trace.Timeline.tl_serves);
+              ("squashes", Json.Int tl.Trace.Timeline.tl_squashes);
+              ("accuracy", Json.Float tl.Trace.Timeline.tl_accuracy);
+              ("mean_serve_interval",
+               Json.Float tl.Trace.Timeline.tl_mean_serve_interval);
+              ("mean_squash_interval",
+               Json.Float tl.Trace.Timeline.tl_mean_squash_interval);
+              ("replays", Json.Int tl.Trace.Timeline.tl_replays);
+              ("squash_penalties",
+               Json.List
+                 (List.map
+                    (fun p -> Json.Int p)
+                    tl.Trace.Timeline.tl_penalties));
+              ("mean_squash_penalty",
+               Json.Float tl.Trace.Timeline.tl_mean_penalty);
+              ("max_squash_penalty",
+               Json.Int tl.Trace.Timeline.tl_max_penalty) ])
+       tls)
+
+let attribution_json (at : Trace.Attribution.t) =
+  let root_fields =
+    match at.Trace.Attribution.at_root with
+    | None -> [ ("bottleneck", Json.Str "") ]
+    | Some l ->
+      [ ("bottleneck",
+         Json.Str l.Trace.Attribution.al_channel.Netlist.ch_name);
+        ("retry_cycles", Json.Int l.Trace.Attribution.al_retry);
+        ("stall_ratio", Json.Float l.Trace.Attribution.al_stall_ratio) ]
+  in
+  Json.Obj
+    (root_fields
+     @ [ ("cause",
+          Json.Str
+            (match at.Trace.Attribution.at_cause with
+             | Trace.Attribution.Intrinsic what -> "intrinsic: " ^ what
+             | Trace.Attribution.Loop -> "loop"
+             | Trace.Attribution.No_stall -> "no-stall"));
+         ("chain",
+          Json.List
+            (List.map
+               (fun (l : Trace.Attribution.link) ->
+                  Json.Str l.Trace.Attribution.al_channel.Netlist.ch_name)
+               at.Trace.Attribution.at_chain));
+         ("has_critical_cycle",
+          Json.Bool (at.Trace.Attribution.at_critical <> None));
+         ("root_on_critical_cycle",
+          Json.Bool at.Trace.Attribution.at_root_on_critical) ])
+
+let traced_record ?artifact ~cycles net =
+  let eng = Elastic_sim.Engine.create net in
+  let tr = Trace.Tracer.create ~capacity:262144 eng in
+  let vcd = Option.map (fun _ -> Trace.Vcd.create net) artifact in
+  Elastic_sim.Engine.set_observer eng
+    (Some
+       (fun e ->
+          Trace.Tracer.observe tr e;
+          Option.iter (fun r -> Trace.Vcd.observe r e) vcd));
+  Elastic_sim.Engine.run eng cycles;
+  let evs = Trace.Tracer.events tr in
+  (match artifact, vcd with
+   | Some base, Some r ->
+     Trace.Vcd.save (base ^ ".vcd") r;
+     Trace.Jsonl.save (base ^ ".jsonl") net evs;
+     Fmt.pr "wrote %s.vcd and %s.jsonl (%d events)@." base base
+       (List.length evs)
+   | _, _ -> ());
+  [ ("speculation", timeline_json net (Trace.Timeline.analyze evs));
+    ("attribution", attribution_json (Trace.Attribution.analyze eng)) ]
+
+(* ------------------------------------------------------------------ *)
 (* E1: Table 1                                                          *)
 
 let table1_expected =
@@ -662,7 +747,7 @@ let json_e3 () =
   record ~experiment:"E3" ~title:"exhaustive controller verification"
     [ ("controllers", Json.List outcomes) ]
 
-let json_e5 ~n ~pcts () =
+let json_e5 ~n ~pcts ?artifact () =
   let points =
     List.map
       (fun pct ->
@@ -683,16 +768,17 @@ let json_e5 ~n ~pcts () =
   let cs = Timing.cycle_time ds.Examples.d_net in
   let cp = Timing.cycle_time dp.Examples.d_net in
   record ~experiment:"E5" ~title:"variable-latency ALU (Fig. 6)"
-    [ ("points", Json.List points);
-      ("cycle_time_improvement_pct",
-       Json.Float (100.0 *. (1.0 -. (cp /. cs))));
-      ("area_overhead_pct",
-       Json.Float
-         (let a = Area.total ds.Examples.d_net in
-          100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
-      ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
+    ([ ("points", Json.List points);
+       ("cycle_time_improvement_pct",
+        Json.Float (100.0 *. (1.0 -. (cp /. cs))));
+       ("area_overhead_pct",
+        Json.Float
+          (let a = Area.total ds.Examples.d_net in
+           100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
+       ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
+     @ traced_record ?artifact ~cycles:(2 * n) dp.Examples.d_net)
 
-let json_e6 ~n ~pcts () =
+let json_e6 ~n ~pcts ?artifact () =
   let points =
     List.map
       (fun pct ->
@@ -728,23 +814,27 @@ let json_e6 ~n ~pcts () =
   let dn = Examples.rs_nonspeculative ~ops in
   let dp = Examples.rs_speculative ~ops in
   record ~experiment:"E6" ~title:"SECDED-protected adder (Fig. 7)"
-    [ ("points", Json.List points);
-      ("area_overhead_pct",
-       Json.Float
-         (let a = Area.total dn.Examples.d_net in
-          100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
-      ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
+    ([ ("points", Json.List points);
+       ("area_overhead_pct",
+        Json.Float
+          (let a = Area.total dn.Examples.d_net in
+           100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
+       ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
+     @ traced_record ?artifact ~cycles:(2 * n) dp.Examples.d_net)
 
-let json_mode ~quick () =
+let json_mode ~quick ~trace () =
   let n = if quick then 100 else 400 in
   let e5_pcts = if quick then [ 0; 5; 20 ] else [ 0; 1; 5; 10; 20; 40 ] in
   let e6_pcts = if quick then [ 0; 5; 25 ] else [ 0; 2; 5; 10; 25 ] in
+  let artifact base = if trace then Some base else None in
   let files =
     [ ("BENCH_E1.json", json_e1 ~cycles:64 ());
       ("BENCH_E2.json", json_e2 ~cycles:n ());
       ("BENCH_E3.json", json_e3 ());
-      ("BENCH_E5.json", json_e5 ~n ~pcts:e5_pcts ());
-      ("BENCH_E6.json", json_e6 ~n ~pcts:e6_pcts ()) ]
+      ("BENCH_E5.json",
+       json_e5 ~n ~pcts:e5_pcts ?artifact:(artifact "TRACE_E5") ());
+      ("BENCH_E6.json",
+       json_e6 ~n ~pcts:e6_pcts ?artifact:(artifact "TRACE_E6") ()) ]
   in
   List.iter
     (fun (path, j) ->
@@ -767,7 +857,8 @@ let () =
   let args = Array.to_list Sys.argv in
   let json = List.mem "--json" args in
   let quick = List.mem "--quick" args in
-  if json then json_mode ~quick ()
+  let trace = List.mem "--trace" args in
+  if json then json_mode ~quick ~trace ()
   else begin
     Fmt.pr
       "Reproduction harness for \"Speculation in Elastic Systems\" (DAC \

@@ -6,9 +6,15 @@ type session = {
   mutable net : Netlist.t option;
   mutable undo : Netlist.t list;
   mutable redo : Netlist.t list;
+  mutable trace_capacity : int option;
+      (* [Some capacity] while [trace on] is in effect. *)
+  mutable tracer : Elastic_trace.Tracer.t option;
+      (* Tracer of the most recent traced simulation command, kept for
+         [trace dump] and for enriching simulation-error reports. *)
 }
 
-let create () = { net = None; undo = []; redo = [] }
+let create () =
+  { net = None; undo = []; redo = []; trace_capacity = None; tracer = None }
 
 let current s = s.net
 
@@ -38,7 +44,21 @@ let help =
   throughput [cycles]      simulate and report per-sink throughput
   stats [cycles]           per-channel utilization and stall ratios
   trace [cycles]           Table-1-style trace of every channel
+  trace on [capacity]      record typed events (transfers, stalls, anti-
+                           tokens, predictions, squashes, replays) during
+                           subsequent simulation commands
+  trace off                stop recording (the last trace stays dumpable)
+  trace dump [n]           print the last n recorded events
+  vcd <file> [cycles]      simulate and write a VCD waveform (handshake
+                           wires + channel state + data, GTKWave-ready)
+  timeline [cycles]        per-scheduler speculation timeline: accuracy,
+                           squash-penalty distribution, commit intervals
+  attribute [cycles]       simulate, walk the backpressure chain to the
+                           bottleneck channel, and cross-check it against
+                           the marked-graph critical cycle
   profile [cycles]         evaluation schedule and per-node settle cost
+                           (fresh engine per call: the report covers this
+                           invocation only, not previous runs)
   cycletime                static cycle-time analysis
   area                     gate-equivalent area
   bound                    marked-graph throughput bound
@@ -152,8 +172,20 @@ let transform s f =
 
 let catch f = try f () with Invalid_argument m | Failure m -> Error m
 
-let throughput_report net cycles =
+(* Engines for simulation commands are created fresh per invocation, so
+   every report (including [profile]) covers exactly one window.  When
+   [trace on] is in effect a tracer rides along on the observer hook and
+   is kept for [trace dump] and error reports. *)
+let sim_engine s net =
   let eng = Elastic_sim.Engine.create net in
+  (match s.trace_capacity with
+   | None -> ()
+   | Some capacity ->
+     s.tracer <- Some (Elastic_trace.Tracer.attach ~capacity eng));
+  eng
+
+let throughput_report s net cycles =
+  let eng = sim_engine s net in
   Elastic_sim.Engine.run eng cycles;
   let sinks =
     List.filter_map
@@ -476,7 +508,7 @@ let execute_cmd s line =
           | _ -> 200
         in
         catch (fun () ->
-            let eng = Elastic_sim.Engine.create net in
+            let eng = sim_engine s net in
             Elastic_sim.Engine.run eng cycles;
             Ok (Fmt.str "%a" Elastic_sim.Stats.pp
                   (Elastic_sim.Stats.collect eng))))
@@ -488,7 +520,7 @@ let execute_cmd s line =
           | _ -> 200
         in
         catch (fun () ->
-            let eng = Elastic_sim.Engine.create net in
+            let eng = sim_engine s net in
             Elastic_sim.Engine.run eng cycles;
             let names =
               Array.of_list
@@ -496,12 +528,141 @@ let execute_cmd s line =
                    (fun (n : Netlist.node) -> n.Netlist.name)
                    (Netlist.nodes net))
             in
+            (* The engine (and its profile) is fresh per invocation:
+               counters and wall clock cover this window only. *)
             Ok
-              (Fmt.str "@[<v>schedule: %a@,%a@]"
-                 Elastic_sim.Schedule.pp_stats
+              (Fmt.str "@[<v>window: this invocation only (%d cycles)@,\
+                        schedule: %a@,%a@]"
+                 cycles Elastic_sim.Schedule.pp_stats
                  (Elastic_sim.Engine.schedule eng)
                  (Elastic_sim.Profile.pp ~name:(fun i -> names.(i)))
                  (Elastic_sim.Engine.profile eng))))
+  | "trace" :: "on" :: rest -> (
+      let capacity =
+        match rest with
+        | [] -> Ok 65536
+        | [ c ] -> int_arg "capacity" c
+        | _ -> Error "usage: trace on [capacity]"
+      in
+      match capacity with
+      | Error m -> Error m
+      | Ok c when c < 1 -> Error "capacity must be >= 1"
+      | Ok capacity ->
+        s.trace_capacity <- Some capacity;
+        Ok
+          (Fmt.str
+             "tracing on (ring capacity %d events); simulation commands \
+              now record events (dump with: trace dump)"
+             capacity))
+  | [ "trace"; "off" ] ->
+    s.trace_capacity <- None;
+    Ok "tracing off (the last recorded trace is still dumpable)"
+  | "trace" :: "dump" :: rest ->
+    with_net s (fun net ->
+        let limit =
+          match rest with
+          | [] -> Ok 40
+          | [ n ] -> int_arg "count" n
+          | _ -> Error "usage: trace dump [n]"
+        in
+        match limit, s.tracer with
+        | Error m, _ -> Error m
+        | Ok _, None ->
+          Error
+            "no trace recorded (use: trace on, then a simulation command \
+             such as throughput, stats or timeline)"
+        | Ok limit, Some tr ->
+          catch (fun () ->
+              let evs = Elastic_trace.Tracer.recent ~limit tr in
+              let head =
+                Fmt.str "%d events recorded (%d dropped), last %d:"
+                  (Elastic_trace.Tracer.recorded tr)
+                  (Elastic_trace.Tracer.dropped tr)
+                  (List.length evs)
+              in
+              Ok
+                (String.concat "\n"
+                   (head
+                    :: List.map
+                         (Fmt.str "  %a" (Elastic_trace.Event.pp net))
+                         evs))))
+  | "vcd" :: file :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [] -> Ok 200
+          | [ n ] -> int_arg "cycles" n
+          | _ -> Error "usage: vcd <file> [cycles]"
+        in
+        match cycles with
+        | Error m -> Error m
+        | Ok cycles ->
+          catch (fun () ->
+              let eng = Elastic_sim.Engine.create net in
+              let rc = Elastic_trace.Vcd.create net in
+              (* Compose the VCD recorder with a tracer when tracing is
+                 on — the engine has a single observer slot. *)
+              let tr =
+                match s.trace_capacity with
+                | None -> None
+                | Some capacity ->
+                  let tr = Elastic_trace.Tracer.create ~capacity eng in
+                  s.tracer <- Some tr;
+                  Some tr
+              in
+              Elastic_sim.Engine.set_observer eng
+                (Some
+                   (fun e ->
+                      (match tr with
+                       | None -> ()
+                       | Some tr -> Elastic_trace.Tracer.observe tr e);
+                      Elastic_trace.Vcd.observe rc e));
+              Elastic_sim.Engine.run eng cycles;
+              Elastic_trace.Vcd.save file rc;
+              Ok
+                (Fmt.str "wrote %s (%d cycles, %d channels)" file cycles
+                   (List.length (Netlist.channels net)))))
+  | [ "vcd" ] -> Error "usage: vcd <file> [cycles]"
+  | "timeline" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [] -> Ok 200
+          | [ n ] -> int_arg "cycles" n
+          | _ -> Error "usage: timeline [cycles]"
+        in
+        match cycles with
+        | Error m -> Error m
+        | Ok cycles ->
+          catch (fun () ->
+              let eng = Elastic_sim.Engine.create net in
+              let tr = Elastic_trace.Tracer.attach eng in
+              s.tracer <- Some tr;
+              Elastic_sim.Engine.run eng cycles;
+              match
+                Elastic_trace.Timeline.analyze
+                  (Elastic_trace.Tracer.events tr)
+              with
+              | [] -> Ok "no speculation schedulers in the design"
+              | tls ->
+                Ok (Fmt.str "%a" (Elastic_trace.Timeline.pp net) tls)))
+  | "attribute" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [] -> Ok 200
+          | [ n ] -> int_arg "cycles" n
+          | _ -> Error "usage: attribute [cycles]"
+        in
+        match cycles with
+        | Error m -> Error m
+        | Ok cycles ->
+          catch (fun () ->
+              let eng = sim_engine s net in
+              Elastic_sim.Engine.run eng cycles;
+              Ok
+                (Fmt.str "%a" Elastic_trace.Attribution.pp
+                   (Elastic_trace.Attribution.analyze eng))))
   | "trace" :: rest ->
     with_net s (fun net ->
         let cycles =
@@ -510,7 +671,7 @@ let execute_cmd s line =
           | _ -> 8
         in
         catch (fun () ->
-            let eng = Elastic_sim.Engine.create net in
+            let eng = sim_engine s net in
             let cell (sg : Signal.t) =
               if sg.Signal.v_minus then "  -"
               else if sg.Signal.v_plus then
@@ -551,7 +712,7 @@ let execute_cmd s line =
           | [ n ] -> Option.value (int_of_string_opt n) ~default:200
           | _ -> 200
         in
-        catch (fun () -> Ok (throughput_report net cycles)))
+        catch (fun () -> Ok (throughput_report s net cycles)))
   | [ "cycletime" ] ->
     with_net s (fun net ->
         match Timing.analyze net with
@@ -652,6 +813,47 @@ let execute_cmd s line =
   | [ "quit" ] | [ "exit" ] -> Ok "bye"
   | w :: _ -> Error (Fmt.str "unknown command %S (try: help)" w)
 
+(* A structured simulation error, enriched — when a trace was being
+   recorded — with the last events seen on the offending channels (the
+   named channel, or the channels incident to the named node), so
+   deadlock diagnosis doesn't require a rerun. *)
+let simulation_error_report s (e : Elastic_sim.Engine.error) =
+  let base = Elastic_sim.Engine.error_to_string e in
+  match s.tracer, s.net with
+  | Some tr, Some net -> (
+      try
+        let channels =
+          match
+            e.Elastic_sim.Engine.err_channel, e.Elastic_sim.Engine.err_node
+          with
+          | Some channel, _ -> [ channel ]
+          | None, Some node ->
+            List.map
+              (fun (c : Netlist.channel) -> c.Netlist.ch_id)
+              (Netlist.incoming net node @ Netlist.outgoing net node)
+          | None, None -> []
+        in
+        let evs =
+          List.concat_map
+            (fun channel ->
+               Elastic_trace.Tracer.recent ~limit:4 ~channel tr)
+            channels
+          |> List.sort (fun (a : Elastic_trace.Event.t) b ->
+              compare a.Elastic_trace.Event.ev_cycle
+                b.Elastic_trace.Event.ev_cycle)
+        in
+        match evs with
+        | [] -> base
+        | evs ->
+          Fmt.str "%s@.last traced events on the offending channels:@.%a"
+            base
+            Fmt.(
+              list ~sep:cut (fun ppf ev ->
+                  pf ppf "  %a" (Elastic_trace.Event.pp net) ev))
+            evs
+      with Invalid_argument _ -> base)
+  | _, _ -> base
+
 (* The interpreter is an interactive trust boundary: whatever a command
    raises — including structured simulation errors from a fault
    experiment gone wrong — must come back as [Error], never kill the
@@ -660,7 +862,7 @@ let execute s line =
   try execute_cmd s line with
   | Invalid_argument m | Failure m -> Error m
   | Elastic_sim.Engine.Simulation_error e ->
-    Error (Elastic_sim.Engine.error_to_string e)
+    Error (simulation_error_report s e)
   | Out_of_memory | Stack_overflow as e -> raise e
   | e -> Error (Printexc.to_string e)
 

@@ -41,6 +41,8 @@ type t = {
   mutable pred : int;
   mutable cycle : int;
   mutable transfers : int;
+      (* oracle script index — wraps, see [observe]; not a statistic *)
+  mutable served_total : int;
   mutable miss : int;
   mutable counter : int;  (* two-bit saturating counter *)
   mutable rng : int;  (* LCG state for the noisy oracle *)
@@ -102,7 +104,7 @@ let make ~ways spec =
   in
   let t =
     { spec; ways; pred = initial_pred ~ways spec; cycle = 0; transfers = 0;
-      miss = 0; counter = 1; rng = 0; committed = -1; hist = 0;
+      served_total = 0; miss = 0; counter = 1; rng = 0; committed = -1; hist = 0;
       table = Array.make table_size 1; in_miss = false }
   in
   (match spec with
@@ -136,7 +138,8 @@ let observe t obs =
        | Static _ | Toggle | Sticky | Two_bit | Round_robin | Scripted _
        | External | Prefer _ | Hinted_replay | Gshare _ -> 1 lsl 30
      in
-     t.transfers <- (t.transfers + 1) mod modulus
+     t.transfers <- (t.transfers + 1) mod modulus;
+     t.served_total <- t.served_total + 1
    | None -> ());
   let finish () = t.in_miss <- mispredicted in
   (* The cycle counter is behavioural only for Toggle and Scripted. *)
@@ -221,11 +224,11 @@ let force t c =
 
 let mispredictions t = t.miss
 
-let serves t = t.transfers
+let serves t = t.served_total
 
 let state t =
   [ t.pred; t.cycle; t.transfers; t.miss; t.counter; t.rng; t.committed;
-    t.hist; Bool.to_int t.in_miss ]
+    t.hist; Bool.to_int t.in_miss; t.served_total ]
   @ Array.to_list t.table
 
 (* Behaviourally relevant state only — statistics excluded so that the
@@ -242,7 +245,7 @@ let key t =
 
 let set_state t = function
   | pred :: cycle :: transfers :: miss :: counter :: rng :: committed
-    :: hist :: in_miss :: table
+    :: hist :: in_miss :: served_total :: table
     when List.length table = Array.length t.table ->
     t.pred <- pred;
     t.cycle <- cycle;
@@ -253,6 +256,7 @@ let set_state t = function
     t.committed <- committed;
     t.hist <- hist;
     t.in_miss <- in_miss <> 0;
+    t.served_total <- served_total;
     List.iteri (fun i v -> t.table.(i) <- v) table
   | _ -> invalid_arg "Scheduler.set_state: bad encoding"
 

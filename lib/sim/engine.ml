@@ -65,6 +65,9 @@ type t = {
   mutable starvation : string list;
   mutable injector : injector option;
   mutable overrides_active : bool;
+  mutable observer : (t -> unit) option;
+  mutable injected_rev : int list;  (* dense indices overridden this cycle
+                                       (tracked only while observed) *)
 }
 
 let dense_index t cid =
@@ -173,6 +176,8 @@ let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
     sink_streams;
     injector = None;
     overrides_active = false;
+    observer = None;
+    injected_rev = [];
     starve_wait = Array.make (Array.length chans) 0;
     shared_input =
       Array.map
@@ -330,6 +335,11 @@ let check_determined t =
 
 let set_injector t inj = t.injector <- inj
 
+let set_observer t obs = t.observer <- obs
+
+let injected t =
+  List.rev_map (fun i -> t.chans.(i).Netlist.ch_id) t.injected_rev
+
 let install_overrides t =
   if t.overrides_active then begin
     Wires.clear_overrides t.ws;
@@ -338,17 +348,23 @@ let install_overrides t =
   match t.injector with
   | None -> ()
   | Some f ->
+    (* The injected-channel log is consumed by the end-of-cycle observer;
+       without one, skip the bookkeeping so injection stays allocation-
+       neutral on the hot path. *)
+    let log = match t.observer with None -> false | Some _ -> true in
     Array.iteri
       (fun i (c : Netlist.channel) ->
          match f ~cycle:t.cycle c.Netlist.ch_id with
          | Some ov ->
            Wires.set_override t.ws i ov;
-           t.overrides_active <- true
+           t.overrides_active <- true;
+           if log then t.injected_rev <- i :: t.injected_rev
          | None -> ())
       t.chans
 
 let step ?(choices = fun _ -> None) t =
   Wires.reset t.ws;
+  t.injected_rev <- [];
   install_overrides t;
   Array.iter
     (fun c ->
@@ -439,6 +455,11 @@ let step ?(choices = fun _ -> None) t =
            (Fmt.str "node invariant violated at the clock edge: %s"
               (Printexc.to_string e)))
     t.compiled;
+  (* End-of-cycle observer: the elapsed cycle's signals, events and
+     counters are all readable, and [cycle t] still names the elapsed
+     cycle.  The [None] branch must stay allocation-free — it is on the
+     hot settle path and guarded by a test. *)
+  (match t.observer with None -> () | Some f -> f t);
   t.cycle <- t.cycle + 1
 
 let run ?choices ?(on_cycle = fun _ -> ()) t n =

@@ -86,6 +86,20 @@ val schedule : t -> Schedule.t
     with no injector the wire store carries no overrides. *)
 val set_injector : t -> injector option -> unit
 
+(** Install (or remove, with [None]) the per-cycle observer, mirroring
+    {!set_injector}.  The observer is invoked at the very end of every
+    {!step} — after monitors, statistics and the clock edge, while
+    {!cycle} still names the elapsed cycle — so it can read the elapsed
+    cycle's {!signal}s, {!events}, counters and {!injected} channels.
+    The observability layer ([Elastic_trace.Tracer]) attaches here.
+    With no observer installed the hook costs one branch and allocates
+    nothing. *)
+val set_observer : t -> (t -> unit) option -> unit
+
+(** Channels perturbed by the injector during the elapsed cycle.  Only
+    tracked while an observer is installed (always [[]] otherwise). *)
+val injected : t -> Netlist.channel_id list
+
 (** Simulate one cycle.  [choices] overrides nondeterministic decisions of
     environment nodes and [External] schedulers, keyed by node id.
     @raise Simulation_error on combinational cycles. *)

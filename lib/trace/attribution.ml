@@ -1,0 +1,143 @@
+open Elastic_netlist
+open Elastic_sim
+
+type link = {
+  al_channel : Netlist.channel;
+  al_retry : int;
+  al_stall_ratio : float;
+}
+
+type cause =
+  | Intrinsic of string
+  | Loop
+  | No_stall
+
+type t = {
+  at_cycles : int;
+  at_chain : link list;
+  at_root : link option;
+  at_cause : cause;
+  at_critical : Elastic_perf.Marked_graph.cycle option;
+  at_root_on_critical : bool;
+}
+
+let link_of eng (c : Netlist.channel) =
+  let valid, retry, _ = Engine.activity eng c.Netlist.ch_id in
+  { al_channel = c;
+    al_retry = retry;
+    al_stall_ratio =
+      (if valid = 0 then 0.0
+       else float_of_int retry /. float_of_int valid) }
+
+(* The node kinds that stall their inputs for reasons of their own, not
+   because of downstream backpressure. *)
+let intrinsic_staller (n : Netlist.node) =
+  match n.Netlist.kind with
+  | Netlist.Sink _ -> Some "sink"
+  | Netlist.Shared _ -> Some "shared-module arbitration"
+  | Netlist.Varlat _ -> Some "variable-latency stage"
+  | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _ | Netlist.Fork _
+  | Netlist.Mux _ -> None
+
+let analyze eng =
+  let net = Engine.netlist eng in
+  let critical =
+    try Elastic_perf.Marked_graph.critical_cycle net
+    with Invalid_argument _ -> None
+  in
+  let links = List.map (link_of eng) (Netlist.channels net) in
+  let best = function
+    | [] -> None
+    | ls ->
+      Some
+        (List.fold_left
+           (fun acc l -> if l.al_retry > acc.al_retry then l else acc)
+           (List.hd ls) (List.tl ls))
+  in
+  let start =
+    match best links with
+    | Some l when l.al_retry > 0 -> Some l
+    | Some _ | None -> None
+  in
+  match start with
+  | None ->
+    { at_cycles = Engine.cycle eng;
+      at_chain = [];
+      at_root = None;
+      at_cause = No_stall;
+      at_critical = critical;
+      at_root_on_critical = false }
+  | Some start ->
+    let visited = Hashtbl.create 8 in
+    let rec walk chain l =
+      Hashtbl.replace visited l.al_channel.Netlist.ch_id ();
+      let chain = l :: chain in
+      let dst = Netlist.node net l.al_channel.Netlist.dst.Netlist.ep_node in
+      match intrinsic_staller dst with
+      | Some what -> (List.rev chain, l, Intrinsic what)
+      | None -> (
+          let next =
+            best
+              (List.map (link_of eng) (Netlist.outgoing net dst.Netlist.id))
+          in
+          match next with
+          | Some n when n.al_retry > 0 ->
+            if Hashtbl.mem visited n.al_channel.Netlist.ch_id then
+              (* Closed a backpressure loop: the loop bounds throughput;
+                 keep the loop's most-stalled channel as the root. *)
+              (List.rev chain, l, Loop)
+            else walk chain n
+          | Some _ | None ->
+            (* Outputs never stall, yet the input does: the node itself
+               is the limiter (e.g. a join waiting for its other input,
+               which shows up as no-stall on this path). *)
+            (List.rev chain, l, Intrinsic (Netlist.kind_name dst.Netlist.kind)))
+    in
+    let chain, root, cause = walk [] start in
+    let on_critical =
+      match critical with
+      | None -> false
+      | Some c ->
+        let name nid = (Netlist.node net nid).Netlist.name in
+        List.mem (name root.al_channel.Netlist.src.Netlist.ep_node)
+          c.Elastic_perf.Marked_graph.nodes
+        && List.mem (name root.al_channel.Netlist.dst.Netlist.ep_node)
+             c.Elastic_perf.Marked_graph.nodes
+    in
+    { at_cycles = Engine.cycle eng;
+      at_chain = chain;
+      at_root = Some root;
+      at_cause = cause;
+      at_critical = critical;
+      at_root_on_critical = on_critical }
+
+let pp_link ppf l =
+  Fmt.pf ppf "%s (%d retry cycles, stall ratio %.3f)"
+    l.al_channel.Netlist.ch_name l.al_retry l.al_stall_ratio
+
+let pp ppf t =
+  match t.at_root with
+  | None ->
+    Fmt.pf ppf
+      "no stalled channels in %d cycles: throughput is source-limited"
+      t.at_cycles
+  | Some root ->
+    Fmt.pf ppf "@[<v>bottleneck: %a@,cause: %s@,backpressure chain: %a@]"
+      pp_link root
+      (match t.at_cause with
+       | Intrinsic what -> "intrinsic stall at " ^ what
+       | Loop -> "backpressure loop"
+       | No_stall -> "none")
+      Fmt.(list ~sep:(any " <- ") string)
+      (List.map (fun l -> l.al_channel.Netlist.ch_name) t.at_chain);
+    (match t.at_critical with
+     | Some c ->
+       Fmt.pf ppf "@.critical cycle (marked graph): %a@.%s"
+         Elastic_perf.Marked_graph.pp_cycle c
+         (if t.at_root_on_critical then
+            "-> the attributed bottleneck lies on the critical cycle"
+          else
+            "-> the attributed bottleneck is off the critical cycle \
+             (early evaluation or an environment limiter)")
+     | None ->
+       Fmt.pf ppf "@.no token-bearing cycle (feed-forward design)")

@@ -1,0 +1,56 @@
+open Elastic_netlist
+open Elastic_sim
+
+(** Stall attribution: name the channel (and loop) that bounds
+    throughput.
+
+    In a SELF system backpressure flows upstream: a channel shows Retry
+    cycles ([V+ /\ S+]) because its receiver could not accept, which in
+    turn is caused by a stall further {e downstream} — or by the receiver
+    itself (a stalling sink, a shared module arbitrating away, a
+    variable-latency stage).  {!analyze} starts from the most-stalled
+    channel of a finished run and walks the backpressure chain backwards
+    (i.e. downstream, toward the cause), at each node following the
+    outgoing channel with the most Retry cycles, until it reaches an
+    intrinsic staller or closes a loop.  The last channel reached is the
+    {e root}: the channel bounding throughput.
+
+    The result is cross-checked against the static analysis: when the
+    marked graph has a token-bearing critical cycle
+    ({!Elastic_perf.Marked_graph.critical_cycle}), a root attributed to
+    backpressure should lie on it — the dynamic trace and the analytic
+    bound naming the same bottleneck is the paper's §3/§5 reading of
+    where time goes. *)
+
+type link = {
+  al_channel : Netlist.channel;
+  al_retry : int;  (** Retry cycles observed on the channel. *)
+  al_stall_ratio : float;  (** Retry cycles per valid cycle. *)
+}
+
+(** Why the walk stopped at the root. *)
+type cause =
+  | Intrinsic of string
+      (** The receiver stalls by itself; the string names its kind
+          (e.g. "sink", "shared", "varlat"). *)
+  | Loop
+      (** The chain closed on itself: a token-starved or
+          buffer-limited loop bounds throughput. *)
+  | No_stall  (** No channel ever stalled: throughput is source-limited. *)
+
+type t = {
+  at_cycles : int;  (** Cycles the engine had simulated. *)
+  at_chain : link list;
+      (** The walked chain, most-stalled channel first, root last. *)
+  at_root : link option;  (** The attributed bottleneck channel. *)
+  at_cause : cause;
+  at_critical : Elastic_perf.Marked_graph.cycle option;
+      (** The marked graph's critical cycle, for cross-checking. *)
+  at_root_on_critical : bool;
+      (** Both endpoints of the root channel lie on the critical cycle. *)
+}
+
+(** Analyze a finished (or at least warmed-up) engine run. *)
+val analyze : Engine.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+open Elastic_kernel
+open Elastic_netlist
+
+type subject =
+  | Chan of Netlist.channel_id
+  | Node of Netlist.node_id
+
+type kind =
+  | Transfer of Value.t option
+  | Stall
+  | Anti
+  | Cancel
+  | Occupancy of { before : int; after : int }
+  | Predict of { way : int }
+  | Serve of { way : int }
+  | Mispredict of { way : int }
+  | Replay of { penalty : int }
+  | Inject
+  | Violation of { property : string }
+
+type t = {
+  ev_cycle : int;
+  ev_subject : subject;
+  ev_kind : kind;
+}
+
+let kind_label = function
+  | Transfer _ -> "transfer"
+  | Stall -> "stall"
+  | Anti -> "anti"
+  | Cancel -> "cancel"
+  | Occupancy _ -> "occupancy"
+  | Predict _ -> "predict"
+  | Serve _ -> "serve"
+  | Mispredict _ -> "mispredict"
+  | Replay _ -> "replay"
+  | Inject -> "inject"
+  | Violation _ -> "violation"
+
+let subject_name net = function
+  | Chan cid -> (Netlist.channel net cid).Netlist.ch_name
+  | Node nid -> (Netlist.node net nid).Netlist.name
+
+let pp net ppf e =
+  let where = subject_name net e.ev_subject in
+  match e.ev_kind with
+  | Transfer (Some v) ->
+    Fmt.pf ppf "cycle %4d  %-24s transfer %s" e.ev_cycle where
+      (Value.to_string v)
+  | Transfer None ->
+    Fmt.pf ppf "cycle %4d  %-24s transfer" e.ev_cycle where
+  | Stall -> Fmt.pf ppf "cycle %4d  %-24s stall (retry)" e.ev_cycle where
+  | Anti -> Fmt.pf ppf "cycle %4d  %-24s anti-token" e.ev_cycle where
+  | Cancel -> Fmt.pf ppf "cycle %4d  %-24s cancellation" e.ev_cycle where
+  | Occupancy { before; after } ->
+    Fmt.pf ppf "cycle %4d  %-24s occupancy %d -> %d" e.ev_cycle where
+      before after
+  | Predict { way } ->
+    Fmt.pf ppf "cycle %4d  %-24s predict way %d" e.ev_cycle where way
+  | Serve { way } ->
+    Fmt.pf ppf "cycle %4d  %-24s serve way %d" e.ev_cycle where way
+  | Mispredict { way } ->
+    Fmt.pf ppf "cycle %4d  %-24s squash (mispredicted way %d)" e.ev_cycle
+      where way
+  | Replay { penalty } ->
+    Fmt.pf ppf "cycle %4d  %-24s replay complete (penalty %d)" e.ev_cycle
+      where penalty
+  | Inject -> Fmt.pf ppf "cycle %4d  %-24s fault injected" e.ev_cycle where
+  | Violation { property } ->
+    Fmt.pf ppf "cycle %4d  %-24s protocol violation (%s)" e.ev_cycle where
+      property
+
+type counts = {
+  c_delivered : (int, int) Hashtbl.t;
+  c_killed : (int, int) Hashtbl.t;
+  c_retries : (int, int) Hashtbl.t;
+  c_antis : (int, int) Hashtbl.t;
+  c_serves : (int, int) Hashtbl.t;
+  c_mispred : (int, int) Hashtbl.t;
+}
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let counts evs =
+  let c =
+    { c_delivered = Hashtbl.create 16;
+      c_killed = Hashtbl.create 16;
+      c_retries = Hashtbl.create 16;
+      c_antis = Hashtbl.create 16;
+      c_serves = Hashtbl.create 4;
+      c_mispred = Hashtbl.create 4 }
+  in
+  List.iter
+    (fun e ->
+       match e.ev_subject, e.ev_kind with
+       | Chan cid, Transfer _ -> bump c.c_delivered cid
+       | Chan cid, Cancel -> bump c.c_killed cid
+       | Chan cid, Stall -> bump c.c_retries cid
+       | Chan cid, Anti -> bump c.c_antis cid
+       | Node nid, Serve _ -> bump c.c_serves nid
+       | Node nid, Mispredict _ -> bump c.c_mispred nid
+       | _, _ -> ())
+    evs;
+  c
+
+let get tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k)
+
+let delivered c = get c.c_delivered
+
+let killed c = get c.c_killed
+
+let retries c = get c.c_retries
+
+let antis c = get c.c_antis
+
+let serves c = get c.c_serves
+
+let mispredictions c = get c.c_mispred

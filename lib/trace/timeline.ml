@@ -1,0 +1,138 @@
+open Elastic_netlist
+
+type sched_timeline = {
+  tl_node : Netlist.node_id;
+  tl_serves : int;
+  tl_squashes : int;
+  tl_replays : int;
+  tl_predict_flips : int;
+  tl_accuracy : float;
+  tl_mean_serve_interval : float;
+  tl_mean_squash_interval : float;
+  tl_penalties : int list;
+  tl_mean_penalty : float;
+  tl_max_penalty : int;
+  tl_accuracy_over_time : (int * float) list;
+}
+
+type acc = {
+  mutable serves : int;
+  mutable squashes : int;
+  mutable replays : int;
+  mutable flips : int;
+  mutable serve_cycles_rev : int list;
+  mutable squash_cycles_rev : int list;
+  mutable penalties_rev : int list;
+}
+
+let analyze ?(window = 100) evs =
+  if window < 1 then invalid_arg "Timeline.analyze: window must be >= 1";
+  let tbl = Hashtbl.create 4 in
+  let order = ref [] in
+  let acc nid =
+    match Hashtbl.find_opt tbl nid with
+    | Some a -> a
+    | None ->
+      let a =
+        { serves = 0; squashes = 0; replays = 0; flips = 0;
+          serve_cycles_rev = []; squash_cycles_rev = [];
+          penalties_rev = [] }
+      in
+      Hashtbl.replace tbl nid a;
+      order := nid :: !order;
+      a
+  in
+  List.iter
+    (fun (e : Event.t) ->
+       match e.Event.ev_subject, e.Event.ev_kind with
+       | Event.Node nid, Event.Serve _ ->
+         let a = acc nid in
+         a.serves <- a.serves + 1;
+         a.serve_cycles_rev <- e.Event.ev_cycle :: a.serve_cycles_rev
+       | Event.Node nid, Event.Mispredict _ ->
+         let a = acc nid in
+         a.squashes <- a.squashes + 1;
+         a.squash_cycles_rev <- e.Event.ev_cycle :: a.squash_cycles_rev
+       | Event.Node nid, Event.Replay { penalty } ->
+         let a = acc nid in
+         a.replays <- a.replays + 1;
+         a.penalties_rev <- penalty :: a.penalties_rev
+       | Event.Node nid, Event.Predict _ ->
+         let a = acc nid in
+         a.flips <- a.flips + 1
+       | _, _ -> ())
+    evs;
+  let mean_interval = function
+    | [] | [ _ ] -> 0.0
+    | first :: _ :: _ as cycles ->
+      let last = List.fold_left (fun _ c -> c) first cycles in
+      float_of_int (last - first) /. float_of_int (List.length cycles - 1)
+  in
+  List.rev !order
+  |> List.map (fun nid ->
+      let a = Hashtbl.find tbl nid in
+      let serve_cycles = List.rev a.serve_cycles_rev in
+      let squash_cycles = List.rev a.squash_cycles_rev in
+      let penalties = List.rev a.penalties_rev in
+      let windows =
+        let tbl = Hashtbl.create 8 in
+        let note cycles which =
+          List.iter
+            (fun c ->
+               let w = c / window in
+               let s, q =
+                 Option.value ~default:(0, 0) (Hashtbl.find_opt tbl w)
+               in
+               Hashtbl.replace tbl w
+                 (if which then (s + 1, q) else (s, q + 1)))
+            cycles
+        in
+        note serve_cycles true;
+        note squash_cycles false;
+        Hashtbl.fold (fun w (s, q) l -> (w, s, q) :: l) tbl []
+        |> List.sort compare
+        |> List.filter_map (fun (w, s, q) ->
+            if s = 0 then None
+            else
+              Some
+                (((w + 1) * window) - 1,
+                 1.0 -. (float_of_int q /. float_of_int s)))
+      in
+      { tl_node = nid;
+        tl_serves = a.serves;
+        tl_squashes = a.squashes;
+        tl_replays = a.replays;
+        tl_predict_flips = a.flips;
+        tl_accuracy =
+          (if a.serves = 0 then 1.0
+           else 1.0 -. (float_of_int a.squashes /. float_of_int a.serves));
+        tl_mean_serve_interval = mean_interval serve_cycles;
+        tl_mean_squash_interval = mean_interval squash_cycles;
+        tl_penalties = penalties;
+        tl_mean_penalty =
+          (match penalties with
+           | [] -> 0.0
+           | ps ->
+             float_of_int (List.fold_left ( + ) 0 ps)
+             /. float_of_int (List.length ps));
+        tl_max_penalty = List.fold_left max 0 penalties;
+        tl_accuracy_over_time = windows })
+
+let pp net ppf tls =
+  List.iter
+    (fun tl ->
+       Fmt.pf ppf
+         "@[<v>scheduler %s: %d serves, %d squashes (accuracy %.3f), %d \
+          prediction flips@,\
+         \  commit interval %.2f cycles, squash interval %.2f cycles@,\
+         \  replay penalty: %d replays, mean %.2f, max %d@,\
+         \  accuracy over time:%a@]@."
+         (Netlist.node net tl.tl_node).Netlist.name
+         tl.tl_serves tl.tl_squashes tl.tl_accuracy tl.tl_predict_flips
+         tl.tl_mean_serve_interval tl.tl_mean_squash_interval
+         tl.tl_replays tl.tl_mean_penalty tl.tl_max_penalty
+         Fmt.(
+           list ~sep:nop (fun ppf (c, a) ->
+               Fmt.pf ppf "@,    up to cycle %4d: %.3f" c a))
+         tl.tl_accuracy_over_time)
+    tls

@@ -1,0 +1,37 @@
+open Elastic_netlist
+
+(** Speculation timelines: per-scheduler prediction-quality metrics
+    derived from an event stream.
+
+    For each shared-module scheduler seen in the events, {!analyze}
+    computes commit/squash interval statistics, the squash-penalty
+    distribution (from [Replay] events — the cycles between a squash and
+    the serve that completes its replay), overall prediction accuracy and
+    accuracy over time in fixed cycle windows.  These are the §5.1/§5.2
+    numbers behind "one cycle lost per misprediction", surfaced per run
+    instead of per paper table. *)
+
+type sched_timeline = {
+  tl_node : Netlist.node_id;
+  tl_serves : int;
+  tl_squashes : int;
+  tl_replays : int;
+  tl_predict_flips : int;  (** [Predict] (prediction-changed) events. *)
+  tl_accuracy : float;  (** [1 - squashes/serves] ([1.0] with no serves). *)
+  tl_mean_serve_interval : float;
+      (** Mean cycles between consecutive serves (commit interval). *)
+  tl_mean_squash_interval : float;
+      (** Mean cycles between consecutive squashes; [0.0] under two. *)
+  tl_penalties : int list;  (** Squash penalties, chronological. *)
+  tl_mean_penalty : float;
+  tl_max_penalty : int;
+  tl_accuracy_over_time : (int * float) list;
+      (** [(window_end_cycle, accuracy_in_window)] for windows with at
+          least one serve. *)
+}
+
+(** [analyze ?window evs] — [window] is the accuracy-over-time window in
+    cycles (default 100). *)
+val analyze : ?window:int -> Event.t list -> sched_timeline list
+
+val pp : Netlist.t -> Format.formatter -> sched_timeline list -> unit

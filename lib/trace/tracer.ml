@@ -1,0 +1,177 @@
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+open Elastic_sim
+
+type sched_state = {
+  sn_node : Netlist.node_id;
+  sn_sched : Scheduler.t;  (* live reference into the engine *)
+  mutable sn_serves : int;
+  mutable sn_mispred : int;
+  mutable sn_predict : int;  (* prediction in effect for the next cycle *)
+  mutable sn_squash : int option;  (* cycle of the unreplayed squash *)
+}
+
+type t = {
+  ring : Event.t array;
+  cap : int;
+  mutable next : int;  (* write position *)
+  mutable total : int;  (* events ever recorded *)
+  channels : Netlist.channel array;
+  scheds : sched_state array;
+  occ : (Netlist.node_id, int) Hashtbl.t;
+  mutable violations_seen : int;
+}
+
+let dummy =
+  { Event.ev_cycle = -1; ev_subject = Event.Chan (-1); ev_kind = Event.Stall }
+
+let create ?(capacity = 65536) eng =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity must be >= 1";
+  let net = Engine.netlist eng in
+  let scheds =
+    Engine.schedulers eng
+    |> List.map (fun (nid, sched) ->
+        { sn_node = nid;
+          sn_sched = sched;
+          sn_serves = Scheduler.serves sched;
+          sn_mispred = Scheduler.mispredictions sched;
+          sn_predict = Scheduler.predict sched;
+          sn_squash = None })
+    |> Array.of_list
+  in
+  let occ = Hashtbl.create 8 in
+  List.iter (fun (nid, n) -> Hashtbl.replace occ nid n)
+    (Engine.occupancies eng);
+  { ring = Array.make capacity dummy;
+    cap = capacity;
+    next = 0;
+    total = 0;
+    channels = Array.of_list (Netlist.channels net);
+    scheds;
+    occ;
+    violations_seen = List.length (Engine.violations eng) }
+
+let push t ev =
+  t.ring.(t.next) <- ev;
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1
+
+let observe t eng =
+  let cyc = Engine.cycle eng in
+  let ev ~subject kind =
+    push t { Event.ev_cycle = cyc; ev_subject = subject; ev_kind = kind }
+  in
+  (* Injected faults first: causes before consequences. *)
+  List.iter (fun cid -> ev ~subject:(Event.Chan cid) Event.Inject)
+    (Engine.injected eng);
+  (* Channel handshake events, in dense channel order. *)
+  Array.iter
+    (fun (c : Netlist.channel) ->
+       let cid = c.Netlist.ch_id in
+       let bev = Engine.events eng cid in
+       let sg = Signal.resolve (Engine.signal eng cid) in
+       if bev.Signal.token_in then
+         ev ~subject:(Event.Chan cid) (Event.Transfer sg.Signal.data);
+       if bev.Signal.cancelled then ev ~subject:(Event.Chan cid) Event.Cancel;
+       if sg.Signal.v_plus && sg.Signal.s_plus then
+         ev ~subject:(Event.Chan cid) Event.Stall;
+       if sg.Signal.v_minus then ev ~subject:(Event.Chan cid) Event.Anti)
+    t.channels;
+  (* Buffer occupancy changes (clock edge already happened). *)
+  List.iter
+    (fun (nid, after) ->
+       let before = Option.value ~default:0 (Hashtbl.find_opt t.occ nid) in
+       if before <> after then begin
+         ev ~subject:(Event.Node nid) (Event.Occupancy { before; after });
+         Hashtbl.replace t.occ nid after
+       end)
+    (Engine.occupancies eng);
+  (* Scheduler activity, from the counter deltas of the clock edge.  The
+     way served (or squashed) is the prediction that was in effect
+     during the elapsed cycle, i.e. the one captured before this clock
+     edge (see Instance.shared_clock).  Serves are processed before the
+     squash so a replay only completes on a later cycle's serve. *)
+  Array.iter
+    (fun s ->
+       let serves = Scheduler.serves s.sn_sched in
+       let mispred = Scheduler.mispredictions s.sn_sched in
+       for _ = 1 to serves - s.sn_serves do
+         ev ~subject:(Event.Node s.sn_node)
+           (Event.Serve { way = s.sn_predict });
+         match s.sn_squash with
+         | Some c0 when c0 < cyc ->
+           ev ~subject:(Event.Node s.sn_node)
+             (Event.Replay { penalty = cyc - c0 });
+           s.sn_squash <- None
+         | Some _ | None -> ()
+       done;
+       s.sn_serves <- serves;
+       if mispred > s.sn_mispred then begin
+         for _ = 1 to mispred - s.sn_mispred do
+           ev ~subject:(Event.Node s.sn_node)
+             (Event.Mispredict { way = s.sn_predict })
+         done;
+         s.sn_mispred <- mispred;
+         s.sn_squash <- Some cyc
+       end;
+       let p = Scheduler.predict s.sn_sched in
+       if p <> s.sn_predict then begin
+         ev ~subject:(Event.Node s.sn_node) (Event.Predict { way = p });
+         s.sn_predict <- p
+       end)
+    t.scheds;
+  (* Fresh monitor violations: the monitors stamp them with the elapsed
+     cycle, so anything beyond the count seen so far is new. *)
+  let violations = Engine.violations eng in
+  let n = List.length violations in
+  if n > t.violations_seen then begin
+    List.iter
+      (fun (name, (v : Protocol.violation)) ->
+         if v.Protocol.cycle = cyc then
+           match
+             Array.find_opt
+               (fun (c : Netlist.channel) ->
+                  String.equal c.Netlist.ch_name name)
+               t.channels
+           with
+           | Some c ->
+             ev ~subject:(Event.Chan c.Netlist.ch_id)
+               (Event.Violation { property = v.Protocol.property })
+           | None -> ())
+      violations;
+    t.violations_seen <- n
+  end
+
+let attach ?capacity eng =
+  let t = create ?capacity eng in
+  Engine.set_observer eng (Some (observe t));
+  t
+
+let events t =
+  if t.total <= t.cap then
+    List.init t.next (fun i -> t.ring.(i))
+  else
+    List.init t.cap (fun i -> t.ring.((t.next + i) mod t.cap))
+
+let dropped t = max 0 (t.total - t.cap)
+
+let recorded t = t.total
+
+let capacity t = t.cap
+
+let recent ?(limit = 10) ?channel t =
+  let evs = events t in
+  let evs =
+    match channel with
+    | None -> evs
+    | Some cid ->
+      List.filter
+        (fun (e : Event.t) ->
+           match e.Event.ev_subject with
+           | Event.Chan c -> c = cid
+           | Event.Node _ -> false)
+        evs
+  in
+  let n = List.length evs in
+  if n <= limit then evs else List.filteri (fun i _ -> i >= n - limit) evs

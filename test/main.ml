@@ -18,6 +18,7 @@ let () =
       ("sim.property", Test_sim_property.suite);
       ("sim.equiv", Test_engine_equiv.suite);
       ("golden", Test_golden.suite);
+      ("trace", Test_trace.suite);
       ("sim.more", Test_sim_more.suite);
       ("fault", Test_fault.suite);
       ("serial", Test_serial.suite);
