@@ -25,86 +25,22 @@ let section title =
   Fmt.pr "=====================================================@."
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON emitter for the --json trajectory records (the image    *)
-(* has no JSON library; the schema is documented in EXPERIMENTS.md).    *)
+(* The --json trajectory records use the shared JSON tree of            *)
+(* lib/metrics (the image has no JSON library); --check parses the      *)
+(* committed baselines back through the same module.  Schema:           *)
+(* EXPERIMENTS.md.                                                      *)
 
 module Json = struct
-  type t =
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let b = Buffer.create (String.length s + 2) in
-    String.iter
-      (fun c ->
-         match c with
-         | '"' -> Buffer.add_string b "\\\""
-         | '\\' -> Buffer.add_string b "\\\\"
-         | '\n' -> Buffer.add_string b "\\n"
-         | '\t' -> Buffer.add_string b "\\t"
-         | '\r' -> Buffer.add_string b "\\r"
-         | c when Char.code c < 0x20 ->
-           Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-         | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-
-  let rec emit b ~indent t =
-    let pad n = Buffer.add_string b (String.make n ' ') in
-    match t with
-    | Bool v -> Buffer.add_string b (if v then "true" else "false")
-    | Int i -> Buffer.add_string b (string_of_int i)
-    | Float f ->
-      if Float.is_finite f then
-        Buffer.add_string b (Printf.sprintf "%.6g" f)
-      else Buffer.add_string b "null"
-    | Str s ->
-      Buffer.add_char b '"';
-      Buffer.add_string b (escape s);
-      Buffer.add_char b '"'
-    | List [] -> Buffer.add_string b "[]"
-    | List items ->
-      Buffer.add_string b "[\n";
-      List.iteri
-        (fun i item ->
-           if i > 0 then Buffer.add_string b ",\n";
-           pad (indent + 2);
-           emit b ~indent:(indent + 2) item)
-        items;
-      Buffer.add_char b '\n';
-      pad indent;
-      Buffer.add_char b ']'
-    | Obj [] -> Buffer.add_string b "{}"
-    | Obj fields ->
-      Buffer.add_string b "{\n";
-      List.iteri
-        (fun i (k, v) ->
-           if i > 0 then Buffer.add_string b ",\n";
-           pad (indent + 2);
-           Buffer.add_char b '"';
-           Buffer.add_string b (escape k);
-           Buffer.add_string b "\": ";
-           emit b ~indent:(indent + 2) v)
-        fields;
-      Buffer.add_char b '\n';
-      pad indent;
-      Buffer.add_char b '}'
-
-  let to_string t =
-    let b = Buffer.create 1024 in
-    emit b ~indent:0 t;
-    Buffer.add_char b '\n';
-    Buffer.contents b
+  include Elastic_metrics.Json
 
   let write path t =
     let oc = open_out path in
-    output_string oc (to_string t);
+    output_string oc (to_string ~indent:2 t);
+    output_char oc '\n';
     close_out oc
 end
+
+module Metr = Elastic_metrics
 
 (* Run a design under both evaluation modes and record the settle cost:
    the [eval_reduction] field is the headline claim — node evaluations
@@ -240,6 +176,88 @@ let traced_record ?artifact ~cycles net =
    | _, _ -> ());
   [ ("speculation", timeline_json net (Trace.Timeline.analyze evs));
     ("attribution", attribution_json (Trace.Attribution.analyze eng)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics fields (lib/metrics): one instrumented run per experiment    *)
+(* writes the METRICS_E<k>.prom snapshot and .jsonl window series, and  *)
+(* distils the per-scheduler families into gate-checkable numbers (the  *)
+(* replay-penalty histogram concentrated at exactly one cycle is the    *)
+(* paper's Sec. 5.2 claim).                                             *)
+
+let metrics_record ~artifact ~cycles net =
+  let eng = Elastic_sim.Engine.create net in
+  let jsonl = Buffer.create 4096 in
+  let windows = ref 0 in
+  let on_window r =
+    incr windows;
+    Buffer.add_string jsonl (Metr.Sampler.jsonl_of_row r);
+    Buffer.add_char jsonl '\n'
+  in
+  let window = 50 in
+  let sampler = Metr.Sampler.create ~window ~on_window eng in
+  Elastic_sim.Engine.set_observer eng
+    (Some (Metr.Sampler.observe sampler));
+  Elastic_sim.Engine.run eng cycles;
+  let samples = Metr.Sampler.sample sampler eng in
+  let oc = open_out (artifact ^ ".prom") in
+  output_string oc (Metr.Prometheus.render samples);
+  close_out oc;
+  let oc = open_out (artifact ^ ".jsonl") in
+  Buffer.output_buffer oc jsonl;
+  close_out oc;
+  Fmt.pr "wrote %s.prom and %s.jsonl (%d windows)@." artifact artifact
+    !windows;
+  let scheds =
+    List.filter_map
+      (fun (s : Metr.Metrics.sample) ->
+         if
+           String.equal s.Metr.Metrics.m_name "elastic_sched_serves_total"
+         then begin
+           let labels = s.Metr.Metrics.m_labels in
+           let node =
+             match List.assoc_opt "node" labels with
+             | Some n -> n
+             | None -> "?"
+           in
+           let count name =
+             match Metr.Metrics.find ~labels samples name with
+             | Some (Metr.Metrics.Counter c) -> c
+             | _ -> 0
+           in
+           let serves = count "elastic_sched_serves_total" in
+           let squashes = count "elastic_sched_mispredictions_total" in
+           let penalty =
+             match
+               Metr.Metrics.find ~labels samples
+                 "elastic_sched_replay_penalty_cycles"
+             with
+             | Some (Metr.Metrics.Histogram h) -> h
+             | _ -> Metr.Histogram.empty
+           in
+           Some
+             (Json.Obj
+                [ ("scheduler", Json.Str node);
+                  ("serves", Json.Int serves);
+                  ("squashes", Json.Int squashes);
+                  ("accuracy",
+                   Json.Float
+                     (if serves = 0 then 1.0
+                      else
+                        1.0
+                        -. (float_of_int squashes /. float_of_int serves)));
+                  ("replays", Json.Int (Metr.Histogram.s_count penalty));
+                  ("replay_p50",
+                   Json.Int (Metr.Histogram.s_quantile penalty 0.5));
+                  ("replay_p99",
+                   Json.Int (Metr.Histogram.s_quantile penalty 0.99));
+                  ("replay_max", Json.Int (Metr.Histogram.s_max penalty)) ])
+         end
+         else None)
+      samples
+  in
+  ("metrics",
+   Json.Obj
+     [ ("window", Json.Int window); ("schedulers", Json.List scheds) ])
 
 (* ------------------------------------------------------------------ *)
 (* E1: Table 1                                                          *)
@@ -687,11 +705,17 @@ let bechamel_suite () =
 (* the levelized scheduler against the reference fixpoint on that       *)
 (* experiment's main design.  Schema: EXPERIMENTS.md.                   *)
 
+(* quick and full sweeps produce different numbers; stamping the mode
+   into the record makes a baseline/run mismatch fail the gate with a
+   readable diff instead of dozens of numeric ones. *)
+let run_mode = ref "full"
+
 let record ~experiment ~title fields =
   Json.Obj
     (("schema", Json.Str "elastic-speculation/bench/v1")
      :: ("experiment", Json.Str experiment)
      :: ("title", Json.Str title)
+     :: ("mode", Json.Str !run_mode)
      :: fields)
 
 let json_e1 ~cycles () =
@@ -776,7 +800,9 @@ let json_e5 ~n ~pcts ?artifact () =
           (let a = Area.total ds.Examples.d_net in
            100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
        ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
-     @ traced_record ?artifact ~cycles:(2 * n) dp.Examples.d_net)
+     @ traced_record ?artifact ~cycles:(2 * n) dp.Examples.d_net
+     @ [ metrics_record ~artifact:"METRICS_E5" ~cycles:(2 * n)
+           dp.Examples.d_net ])
 
 let json_e6 ~n ~pcts ?artifact () =
   let points =
@@ -820,9 +846,153 @@ let json_e6 ~n ~pcts ?artifact () =
           (let a = Area.total dn.Examples.d_net in
            100.0 *. ((Area.total dp.Examples.d_net -. a) /. a)));
        ("engine", engine_record ~cycles:(2 * n) dp.Examples.d_net) ]
-     @ traced_record ?artifact ~cycles:(2 * n) dp.Examples.d_net)
+     @ traced_record ?artifact ~cycles:(2 * n) dp.Examples.d_net
+     @ [ metrics_record ~artifact:"METRICS_E6" ~cycles:(2 * n)
+           dp.Examples.d_net ])
+
+(* ------------------------------------------------------------------ *)
+(* --check: the regression gate.  Re-derives the paper's headline       *)
+(* claims from the records just produced, then diffs each record        *)
+(* against its committed baseline (bench/baselines/) with the shared    *)
+(* Gate rules.  Any failure names the record, the metric path and the   *)
+(* delta, and the process exits 1.                                      *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let claim_checks fail path j =
+  let experiment =
+    match Json.member "experiment" j with
+    | Some (Json.Str e) -> e
+    | _ -> ""
+  in
+  let flt v = Option.value ~default:nan (Json.to_float v) in
+  (* E5 (Sec. 5.1): speculation buys its ~9% shorter clock without
+     giving back tokens/cycle at any error rate of the sweep. *)
+  if String.equal experiment "E5" then begin
+    (match Json.member "cycle_time_improvement_pct" j with
+     | Some v ->
+       if not (flt v > 0.0) then
+         fail path "cycle_time_improvement_pct"
+           (Fmt.str "speculation gain not positive (%g%%)" (flt v))
+     | None -> fail path "cycle_time_improvement_pct" "missing");
+    match Json.member "points" j with
+    | Some (Json.List pts) ->
+      List.iteri
+        (fun i p ->
+           match
+             ( Json.member "stalling_throughput" p,
+               Json.member "speculative_throughput" p )
+           with
+           | Some s, Some sp ->
+             if flt sp < flt s -. 1e-9 then
+               fail path
+                 (Fmt.str "points[%d].speculative_throughput" i)
+                 (Fmt.str "below the stalling design (%g < %g)" (flt sp)
+                    (flt s))
+           | _ -> fail path (Fmt.str "points[%d]" i) "missing throughputs")
+        pts
+    | _ -> fail path "points" "missing"
+  end;
+  (* E6 (Sec. 5.2): the speculative design removes one pipeline stage
+     of latency at every error rate. *)
+  if String.equal experiment "E6" then begin
+    match Json.member "points" j with
+    | Some (Json.List pts) ->
+      List.iteri
+        (fun i p ->
+           match
+             ( Json.member "spec_first_delivery" p,
+               Json.member "nonspec_first_delivery" p )
+           with
+           | Some (Json.Int s), Some (Json.Int ns) ->
+             if not (s < ns) then
+               fail path
+                 (Fmt.str "points[%d].spec_first_delivery" i)
+                 (Fmt.str "no latency removed (spec %d, nonspec %d)" s ns)
+           | _ -> fail path (Fmt.str "points[%d]" i) "missing deliveries")
+        pts
+    | _ -> fail path "points" "missing"
+  end;
+  (* Sec. 4.3: every squash replays in exactly one cycle — both in the
+     trace timelines and in the replay-penalty histogram. *)
+  (match Json.member "speculation" j with
+   | Some (Json.List tls) ->
+     List.iter
+       (fun tl ->
+          match Json.member "squash_penalties" tl with
+          | Some (Json.List ps) ->
+            List.iter
+              (function
+                | Json.Int 1 -> ()
+                | p ->
+                  fail path "speculation.squash_penalties"
+                    (Fmt.str "squash penalty %s <> 1 cycle"
+                       (Json.to_string p)))
+              ps
+          | _ -> ())
+       tls
+   | _ -> ());
+  match Json.member "metrics" j with
+  | None -> ()
+  | Some m -> (
+      match Json.member "schedulers" m with
+      | Some (Json.List ss) ->
+        List.iter
+          (fun s ->
+             match
+               ( Json.member "replays" s,
+                 Json.member "replay_p50" s,
+                 Json.member "replay_p99" s )
+             with
+             | Some (Json.Int r), Some (Json.Int p50), Some (Json.Int p99)
+               when r > 0 ->
+               if p50 <> 1 || p99 <> 1 then
+                 fail path "metrics.schedulers"
+                   (Fmt.str
+                      "replay penalty not concentrated at 1 cycle (p50 \
+                       %d, p99 %d)"
+                      p50 p99)
+             | _ -> ())
+          ss
+      | _ -> ())
+
+let check_mode ~dir files =
+  let failures = ref 0 in
+  let fail file path reason =
+    incr failures;
+    Fmt.epr "REGRESSION %s: %s: %s@." file path reason
+  in
+  List.iter (fun (path, j) -> claim_checks fail path j) files;
+  List.iter
+    (fun (path, current) ->
+       let bpath = Filename.concat dir path in
+       if not (Sys.file_exists bpath) then
+         fail path "(record)" (Fmt.str "no baseline at %s" bpath)
+       else
+         match Json.parse (read_file bpath) with
+         | Error m ->
+           fail path "(record)" (Fmt.str "unreadable baseline %s: %s" bpath m)
+         | Ok baseline ->
+           List.iter
+             (fun (d : Metr.Gate.diff) ->
+                fail path d.Metr.Gate.d_path d.Metr.Gate.d_reason)
+             (Metr.Gate.compare ~baseline ~current ()))
+    files;
+  if !failures = 0 then
+    Fmt.pr "@.bench --check: OK (%d records match %s)@." (List.length files)
+      dir
+  else begin
+    Fmt.epr "@.bench --check: %d regression(s) against %s@." !failures dir;
+    exit 1
+  end
 
 let json_mode ~quick ~trace () =
+  run_mode := (if quick then "quick" else "full");
   let n = if quick then 100 else 400 in
   let e5_pcts = if quick then [ 0; 5; 20 ] else [ 0; 1; 5; 10; 20; 40 ] in
   let e6_pcts = if quick then [ 0; 5; 25 ] else [ 0; 2; 5; 10; 25 ] in
@@ -851,14 +1021,27 @@ let json_mode ~quick ~trace () =
          | _ -> ""
        in
        Fmt.pr "wrote %s%s@." path reduction)
-    files
+    files;
+  files
 
 let () =
   let args = Array.to_list Sys.argv in
   let json = List.mem "--json" args in
   let quick = List.mem "--quick" args in
   let trace = List.mem "--trace" args in
-  if json then json_mode ~quick ~trace ()
+  let check = List.mem "--check" args in
+  let baselines =
+    let rec find = function
+      | "--baselines" :: dir :: _ -> dir
+      | _ :: rest -> find rest
+      | [] -> "bench/baselines"
+    in
+    find args
+  in
+  if json || check then begin
+    let files = json_mode ~quick ~trace () in
+    if check then check_mode ~dir:baselines files
+  end
   else begin
     Fmt.pr
       "Reproduction harness for \"Speculation in Elastic Systems\" (DAC \

@@ -59,6 +59,16 @@ let help =
   profile [cycles]         evaluation schedule and per-node settle cost
                            (fresh engine per call: the report covers this
                            invocation only, not previous runs)
+  metrics [cycles]         simulate and print the metrics registry in
+                           Prometheus text-exposition format (counters,
+                           gauges, histograms over engine / channels /
+                           schedulers / faults)
+  metrics prom <file> [cycles]   write the Prometheus snapshot to a file
+  metrics jsonl <file> [cycles] [window]  windowed JSONL time series
+                           (one cumulative snapshot line per window)
+  watch [cycles] [every]   live dashboard: simulate and render a frame
+                           every [every] cycles (throughput, prediction
+                           accuracy, replay penalties, stalls, occupancy)
   cycletime                static cycle-time analysis
   area                     gate-equivalent area
   bound                    marked-graph throughput bound
@@ -79,7 +89,19 @@ let help =
   smv <file>               export a NuSMV control model
   undo / redo              navigate the transformation history
   help                     this text
-  quit                     leave the shell|}
+  quit (or exit)           leave the shell|}
+
+(* Every word [execute_cmd] dispatches on, in help order; the
+   help-coverage test keeps this list, the dispatcher and the help text
+   consistent. *)
+let commands =
+  [ "load"; "show"; "candidates"; "bubble"; "buffer"; "remove-buffer";
+    "convert"; "fifo"; "retime-fwd"; "retime-bwd"; "shannon"; "early";
+    "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
+    "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch";
+    "cycletime"; "area"; "bound"; "critical"; "verify"; "inject";
+    "campaign"; "dot"; "verilog"; "blif"; "smv"; "undo"; "redo"; "help";
+    "quit"; "exit" ]
 
 let designs =
   [ ("fig1a", fun () -> (Figures.fig1a ()).Figures.net);
@@ -183,6 +205,100 @@ let sim_engine s net =
    | Some capacity ->
      s.tracer <- Some (Elastic_trace.Tracer.attach ~capacity eng));
   eng
+
+module Metr = Elastic_metrics
+
+(* Simulate [cycles] with a metrics sampler attached, composing with a
+   tracer when [trace on] is in effect (single observer slot). *)
+let sampled_run s net ?window ?on_window cycles =
+  let eng = Elastic_sim.Engine.create net in
+  let sampler = Metr.Sampler.create ?window ?on_window eng in
+  let tr =
+    match s.trace_capacity with
+    | None -> None
+    | Some capacity ->
+      let tr = Elastic_trace.Tracer.create ~capacity eng in
+      s.tracer <- Some tr;
+      Some tr
+  in
+  Elastic_sim.Engine.set_observer eng
+    (Some
+       (fun e ->
+          (match tr with
+           | None -> ()
+           | Some tr -> Elastic_trace.Tracer.observe tr e);
+          Metr.Sampler.observe sampler e));
+  Elastic_sim.Engine.run eng cycles;
+  (eng, sampler)
+
+(* One dashboard frame: headline rates from the engine, replay-penalty
+   quantiles from the metrics snapshot. *)
+let watch_frame net eng samples cyc =
+  let b = Buffer.create 256 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "-- cycle %d %s" cyc (String.make (max 1 (40 - 12)) '-');
+  List.iter
+    (fun (n : Netlist.node) ->
+       match n.Netlist.kind with
+       | Netlist.Sink _ ->
+         line "  sink %-12s %.3f tok/cyc (%d transfers)" n.Netlist.name
+           (Elastic_sim.Engine.throughput eng n.Netlist.id)
+           (Elastic_kernel.Transfer.length
+              (Elastic_sim.Engine.sink_stream eng n.Netlist.id))
+       | Netlist.Source _ | Netlist.Buffer _ | Netlist.Func _
+       | Netlist.Fork _ | Netlist.Mux _ | Netlist.Shared _
+       | Netlist.Varlat _ -> ())
+    (Netlist.nodes net);
+  List.iter
+    (fun (nid, sched) ->
+       let name = (Netlist.node net nid).Netlist.name in
+       let serves = Scheduler.serves sched in
+       let mispred = Scheduler.mispredictions sched in
+       let accuracy =
+         if serves = 0 then 1.0
+         else
+           Float.max 0.0
+             (1.0 -. (float_of_int mispred /. float_of_int serves))
+       in
+       let penalty =
+         match
+           Metr.Metrics.find samples
+             ~labels:[ ("node", name) ]
+             "elastic_sched_replay_penalty_cycles"
+         with
+         | Some (Metr.Metrics.Histogram h)
+           when Metr.Histogram.s_count h > 0 ->
+           Fmt.str "replay p50/p99 %d/%d"
+             (Metr.Histogram.s_quantile h 0.5)
+             (Metr.Histogram.s_quantile h 0.99)
+         | _ -> "no replays"
+       in
+       line "  sched %-11s accuracy %.2f  serves %d  squashes %d  %s" name
+         accuracy serves mispred penalty)
+    (Elastic_sim.Engine.schedulers eng);
+  let stalled =
+    List.filter_map
+      (fun (c : Netlist.channel) ->
+         let valid, retry, _ =
+           Elastic_sim.Engine.activity eng c.Netlist.ch_id
+         in
+         if retry = 0 then None
+         else
+           Some
+             (c.Netlist.ch_name,
+              float_of_int retry /. float_of_int (max valid 1)))
+      (Netlist.channels net)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    |> List.filteri (fun i _ -> i < 3)
+  in
+  (match stalled with
+   | [] -> line "  stalls: none"
+   | l ->
+     line "  stalls: %s"
+       (String.concat "  "
+          (List.map (fun (n, r) -> Fmt.str "%s %.3f" n r) l)));
+  line "  stored tokens: %d" (Elastic_sim.Engine.stored_tokens eng);
+  Buffer.contents b
 
 let throughput_report s net cycles =
   let eng = sim_engine s net in
@@ -537,6 +653,114 @@ let execute_cmd s line =
                  (Elastic_sim.Engine.schedule eng)
                  (Elastic_sim.Profile.pp ~name:(fun i -> names.(i)))
                  (Elastic_sim.Engine.profile eng))))
+  | "metrics" :: "prom" :: file :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [] -> Ok 200
+          | [ n ] -> int_arg "cycles" n
+          | _ -> Error "usage: metrics prom <file> [cycles]"
+        in
+        match cycles with
+        | Error m -> Error m
+        | Ok cycles ->
+          catch (fun () ->
+              let eng, sampler = sampled_run s net cycles in
+              let text =
+                Metr.Prometheus.render (Metr.Sampler.sample sampler eng)
+              in
+              let oc = open_out file in
+              output_string oc text;
+              close_out oc;
+              Ok (Fmt.str "wrote %s (%d cycles)" file cycles)))
+  | "metrics" :: "jsonl" :: file :: rest ->
+    with_net s (fun net ->
+        let args =
+          match rest with
+          | [] -> Ok (200, 50)
+          | [ n ] ->
+            Result.map (fun c -> (c, 50)) (int_arg "cycles" n)
+          | [ n; w ] ->
+            Result.bind (int_arg "cycles" n) (fun c ->
+                Result.map (fun w -> (c, w)) (int_arg "window" w))
+          | _ -> Error "usage: metrics jsonl <file> [cycles] [window]"
+        in
+        match args with
+        | Error m -> Error m
+        | Ok (_, w) when w < 1 -> Error "window must be >= 1"
+        | Ok (cycles, window) ->
+          catch (fun () ->
+              let buf = Buffer.create 4096 in
+              let rows = ref 0 in
+              let on_window r =
+                incr rows;
+                Buffer.add_string buf (Metr.Sampler.jsonl_of_row r);
+                Buffer.add_char buf '\n'
+              in
+              let _eng, _sampler =
+                sampled_run s net ~window ~on_window cycles
+              in
+              let oc = open_out file in
+              Buffer.output_buffer oc buf;
+              close_out oc;
+              Ok
+                (Fmt.str "wrote %s (%d cycles, %d windows of %d)" file
+                   cycles !rows window)))
+  | "metrics" :: rest ->
+    with_net s (fun net ->
+        let cycles =
+          match rest with
+          | [] -> Ok 200
+          | [ n ] -> int_arg "cycles" n
+          | _ -> Error "usage: metrics [cycles]"
+        in
+        match cycles with
+        | Error m -> Error m
+        | Ok cycles ->
+          catch (fun () ->
+              let eng, sampler = sampled_run s net cycles in
+              Ok
+                (Fmt.str "# simulated %d cycles@.%s" cycles
+                   (Metr.Prometheus.render
+                      (Metr.Sampler.sample sampler eng)))))
+  | "watch" :: rest ->
+    with_net s (fun net ->
+        let args =
+          match rest with
+          | [] -> Ok (200, 50)
+          | [ n ] ->
+            Result.map (fun c -> (c, 50)) (int_arg "cycles" n)
+          | [ n; w ] ->
+            Result.bind (int_arg "cycles" n) (fun c ->
+                Result.map (fun w -> (c, w)) (int_arg "every" w))
+          | _ -> Error "usage: watch [cycles] [every]"
+        in
+        match args with
+        | Error m -> Error m
+        | Ok (_, every) when every < 1 -> Error "every must be >= 1"
+        | Ok (cycles, every) ->
+          catch (fun () ->
+              let frames = Buffer.create 1024 in
+              let eng_slot = ref None in
+              let on_window (r : Metr.Sampler.row) =
+                match !eng_slot with
+                | None -> ()
+                | Some eng ->
+                  Buffer.add_string frames
+                    (watch_frame net eng r.Metr.Sampler.r_samples
+                       r.Metr.Sampler.r_cycle)
+              in
+              let eng = Elastic_sim.Engine.create net in
+              eng_slot := Some eng;
+              let sampler =
+                Metr.Sampler.create ~window:every ~on_window eng
+              in
+              Elastic_sim.Engine.set_observer eng
+                (Some (Metr.Sampler.observe sampler));
+              Elastic_sim.Engine.run eng cycles;
+              Ok
+                (Fmt.str "%swatched %d cycles (frame every %d)"
+                   (Buffer.contents frames) cycles every)))
   | "trace" :: "on" :: rest -> (
       let capacity =
         match rest with
@@ -811,6 +1035,9 @@ let execute_cmd s line =
       "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
        storm <count> <seed> [cycles]"
   | [ "quit" ] | [ "exit" ] -> Ok "bye"
+  | w :: _ when List.mem w commands ->
+    (* a known command that fell through its argument patterns *)
+    Error (Fmt.str "command %S: bad or missing arguments (try: help)" w)
   | w :: _ -> Error (Fmt.str "unknown command %S (try: help)" w)
 
 (* A structured simulation error, enriched — when a trace was being

@@ -28,3 +28,9 @@ val run_script : session -> string list -> (string list, string) result
 val current : session -> Netlist.t option
 
 val help : string
+
+(** Every first word the interpreter dispatches on, in help order.  The
+    help-coverage test checks each appears in {!help} and is accepted by
+    {!execute} (i.e. never answers "unknown command"), so the command
+    surface and the help text cannot drift apart. *)
+val commands : string list

@@ -1,0 +1,173 @@
+module Counter = struct
+  type t = { mutable c : int }
+
+  let inc t = t.c <- t.c + 1
+
+  let add t n =
+    if n < 0 then invalid_arg "Counter.add: negative increment";
+    t.c <- t.c + n
+
+  let value t = t.c
+end
+
+module Gauge = struct
+  (* Single-float record: unboxed, so [set] does not allocate. *)
+  type t = { mutable g : float }
+
+  let set t v = t.g <- v
+
+  let value t = t.g
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+
+type registered = {
+  r_name : string;
+  r_help : string;
+  r_labels : (string * string) list;
+  r_inst : instrument;
+}
+
+type t = {
+  mutable regs : registered list;  (* reverse registration order *)
+  index : (string * (string * string) list, registered) Hashtbl.t;
+}
+
+let create () = { regs = []; index = Hashtbl.create 64 }
+
+let valid_name s =
+  let ok_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  String.length s > 0
+  && ok_first s.[0]
+  && String.for_all ok s
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let register t ~help ~labels name ~kind make =
+  if not (valid_name name) then
+    invalid_arg (Fmt.str "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+       if not (valid_name k) then
+         invalid_arg (Fmt.str "Metrics: invalid label name %S" k))
+    labels;
+  let labels = normalize_labels labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.index key with
+  | Some r ->
+    if not (String.equal (kind_name r.r_inst) kind) then
+      invalid_arg
+        (Fmt.str "Metrics: %S already registered as a %s" name
+           (kind_name r.r_inst));
+    r.r_inst
+  | None ->
+    (* A name must keep one kind across label sets (Prometheus rule). *)
+    (match
+       List.find_opt (fun r -> String.equal r.r_name name) t.regs
+     with
+     | Some r when not (String.equal (kind_name r.r_inst) kind) ->
+       invalid_arg
+         (Fmt.str "Metrics: %S already registered as a %s" name
+            (kind_name r.r_inst))
+     | Some _ | None -> ());
+    let r = { r_name = name; r_help = help; r_labels = labels;
+              r_inst = make () }
+    in
+    t.regs <- r :: t.regs;
+    Hashtbl.replace t.index key r;
+    r.r_inst
+
+let counter t ?(help = "") ?(labels = []) name =
+  match
+    register t ~help ~labels name ~kind:"counter" (fun () ->
+        I_counter { Counter.c = 0 })
+  with
+  | I_counter c -> c
+  | I_gauge _ | I_histogram _ -> assert false
+
+let gauge t ?(help = "") ?(labels = []) name =
+  match
+    register t ~help ~labels name ~kind:"gauge" (fun () ->
+        I_gauge { Gauge.g = 0.0 })
+  with
+  | I_gauge g -> g
+  | I_counter _ | I_histogram _ -> assert false
+
+let histogram t ?(help = "") ?(labels = []) name =
+  match
+    register t ~help ~labels name ~kind:"histogram" (fun () ->
+        I_histogram (Histogram.create ()))
+  with
+  | I_histogram h -> h
+  | I_counter _ | I_gauge _ -> assert false
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.snapshot
+
+type sample = {
+  m_name : string;
+  m_help : string;
+  m_labels : (string * string) list;
+  m_value : value;
+}
+
+let snapshot t =
+  List.rev_map
+    (fun r ->
+       { m_name = r.r_name;
+         m_help = r.r_help;
+         m_labels = r.r_labels;
+         m_value =
+           (match r.r_inst with
+            | I_counter c -> Counter (Counter.value c)
+            | I_gauge g -> Gauge (Gauge.value g)
+            | I_histogram h -> Histogram (Histogram.snapshot h)) })
+    t.regs
+
+let same_series a b =
+  String.equal a.m_name b.m_name && a.m_labels = b.m_labels
+
+let merge_values a b =
+  match a, b with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge _, Gauge y -> Gauge y
+  | Histogram x, Histogram y -> Histogram (Histogram.merge x y)
+  | _, _ ->
+    invalid_arg "Metrics.merge: kind mismatch for the same series"
+
+let merge left right =
+  let merged =
+    List.map
+      (fun l ->
+         match List.find_opt (same_series l) right with
+         | Some r -> { l with m_value = merge_values l.m_value r.m_value }
+         | None -> l)
+      left
+  in
+  let right_only =
+    List.filter
+      (fun r -> not (List.exists (same_series r) left))
+      right
+  in
+  merged @ right_only
+
+let find ?(labels = []) samples name =
+  let labels = normalize_labels labels in
+  List.find_opt
+    (fun s -> String.equal s.m_name name && s.m_labels = labels)
+    samples
+  |> Option.map (fun s -> s.m_value)

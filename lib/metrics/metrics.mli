@@ -1,0 +1,84 @@
+(** Low-overhead metrics registry: named counters, gauges and
+    log-bucketed histograms.
+
+    Instruments are registered once (by name + label set, Prometheus
+    style) and then updated from hot paths: {!Counter.inc},
+    {!Gauge.set} and [Histogram.observe] are plain mutable-field /
+    array-cell writes that allocate nothing — guarded by a GC test, so
+    instrumentation can stay inline in the simulator's per-cycle code.
+
+    {!snapshot} freezes every instrument into an immutable, mergeable
+    sample list; exporters ({!Prometheus}, the sampler's JSONL series)
+    and the bench regression gate all consume snapshots. *)
+
+module Counter : sig
+  (** Monotonically increasing integer. *)
+  type t
+
+  val inc : t -> unit
+
+  (** @raise Invalid_argument on negative increments. *)
+  val add : t -> int -> unit
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  (** Instantaneous float value (occupancy, accuracy, rate). *)
+  type t
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+end
+
+(** The registry. *)
+type t
+
+val create : unit -> t
+
+(** [counter t name] registers (or retrieves, when the same [name] +
+    [labels] pair was registered before) a counter.  Names must match
+    Prometheus conventions: [[a-zA-Z_:][a-zA-Z0-9_:]*].
+    @raise Invalid_argument on a malformed name, or when [name] +
+    [labels] is already registered as a different instrument kind. *)
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> Counter.t
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> Gauge.t
+
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list -> string ->
+  Histogram.t
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.snapshot
+
+type sample = {
+  m_name : string;
+  m_help : string;
+  m_labels : (string * string) list;
+  m_value : value;
+}
+
+(** Immutable samples in registration order (stable across snapshots of
+    the same registry). *)
+val snapshot : t -> sample list
+
+(** Merge two snapshots (e.g. from shards of a partitioned run):
+    counters add, histograms merge, gauges keep the right-hand value;
+    samples present on one side only pass through.  The result keeps
+    the left operand's order with right-only samples appended. *)
+val merge : sample list -> sample list -> sample list
+
+(** Find a sample by name (and labels, default []). *)
+val find :
+  ?labels:(string * string) list -> sample list -> string -> value option
+
+(** [valid_name s] — exposed for exporters and tests. *)
+val valid_name : string -> bool

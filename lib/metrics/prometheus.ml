@@ -1,0 +1,83 @@
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '"' -> Buffer.add_string b "\\\""
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let labels_text = function
+  | [] -> ""
+  | labels ->
+    Fmt.str "{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Fmt.str "%s=\"%s\"" k (escape_label v))
+            labels))
+
+let float_text f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Fmt.str "%.0f" f
+  else Fmt.str "%.9g" f
+
+let kind_text (s : Metrics.sample) =
+  match s.Metrics.m_value with
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+let render samples =
+  let b = Buffer.create 4096 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+       let name = s.Metrics.m_name in
+       if not (Hashtbl.mem seen_header name) then begin
+         Hashtbl.replace seen_header name ();
+         if s.Metrics.m_help <> "" then
+           Buffer.add_string b
+             (Fmt.str "# HELP %s %s\n" name (escape_help s.Metrics.m_help));
+         Buffer.add_string b
+           (Fmt.str "# TYPE %s %s\n" name (kind_text s))
+       end;
+       let lbl = labels_text s.Metrics.m_labels in
+       match s.Metrics.m_value with
+       | Metrics.Counter v ->
+         Buffer.add_string b (Fmt.str "%s%s %d\n" name lbl v)
+       | Metrics.Gauge v ->
+         Buffer.add_string b (Fmt.str "%s%s %s\n" name lbl (float_text v))
+       | Metrics.Histogram h ->
+         let with_le le =
+           labels_text (s.Metrics.m_labels @ [ ("le", le) ])
+         in
+         List.iter
+           (fun (upper, cum) ->
+              Buffer.add_string b
+                (Fmt.str "%s_bucket%s %d\n" name
+                   (with_le (string_of_int upper))
+                   cum))
+           (Histogram.s_buckets h);
+         Buffer.add_string b
+           (Fmt.str "%s_bucket%s %d\n" name (with_le "+Inf")
+              (Histogram.s_count h));
+         Buffer.add_string b
+           (Fmt.str "%s_sum%s %d\n" name lbl (Histogram.s_sum h));
+         Buffer.add_string b
+           (Fmt.str "%s_count%s %d\n" name lbl (Histogram.s_count h)))
+    samples;
+  Buffer.contents b

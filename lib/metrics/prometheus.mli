@@ -1,0 +1,12 @@
+(** Prometheus text-exposition rendering of a {!Metrics.snapshot}.
+
+    One [# HELP] / [# TYPE] block per metric name (samples that differ
+    only in labels share it), counters and gauges as single samples,
+    histograms as cumulative [_bucket{le="..."}] series (sparse — only
+    buckets that received observations — plus the mandatory [+Inf]),
+    [_sum] and [_count].  Naming conventions (enforced upstream by
+    {!Metrics.valid_name} and followed by the {!Sampler}):
+    [elastic_<layer>_<what>_<unit-or-total>], e.g.
+    [elastic_channel_transfers_total]. *)
+
+val render : Metrics.sample list -> string

@@ -1,0 +1,11 @@
+type t = unit -> int64
+
+let monotonic : t = Monotonic_clock.now
+
+let ticker ~step_ns =
+  let now = ref 0L in
+  fun () ->
+    now := Int64.add !now step_ns;
+    !now
+
+let seconds_between t0 t1 = Int64.to_float (Int64.sub t1 t0) *. 1e-9

@@ -68,6 +68,7 @@ type t = {
   mutable observer : (t -> unit) option;
   mutable injected_rev : int list;  (* dense indices overridden this cycle
                                        (tracked only while observed) *)
+  clock : Clock.t;
 }
 
 let dense_index t cid =
@@ -77,7 +78,7 @@ let dense_index t cid =
     fail ~cycle:t.cycle ~channel:cid (Fmt.str "unknown channel id %d" cid)
 
 let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
-    ?max_passes net =
+    ?max_passes ?(clock = Clock.monotonic) net =
   (match Netlist.validate net with
    | [] -> ()
    | ps ->
@@ -178,6 +179,7 @@ let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
     overrides_active = false;
     observer = None;
     injected_rev = [];
+    clock;
     starve_wait = Array.make (Array.length chans) 0;
     shared_input =
       Array.map
@@ -372,14 +374,14 @@ let step ?(choices = fun _ -> None) t =
          ~choice:(choices (Instance.node c.inst).Netlist.id))
     t.compiled;
   Array.fill t.cycle_evals 0 (Array.length t.cycle_evals) 0;
-  let t0 = Unix.gettimeofday () in
+  let t0 = t.clock () in
   (match t.mode with
    | Levelized -> settle_levelized t
    | Reference -> fixpoint t);
   check_determined t;
   let passes = Array.fold_left max 0 t.cycle_evals in
   Profile.record_cycle t.profile ~passes
-    ~seconds:(Unix.gettimeofday () -. t0);
+    ~seconds:(Clock.seconds_between t0 (t.clock ()));
   let n = Array.length t.chans in
   let signals =
     Array.init n (fun i -> Wires.to_signal (Wires.wire t.ws i))

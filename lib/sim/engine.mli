@@ -62,10 +62,13 @@ type eval_mode = Levelized | Reference
     @param max_passes cap on global fixpoint passes in [Reference] mode
     before {!step} raises the non-convergence error naming the channels
     that were still changing (default [5 * channels + 16], which monotone
-    evaluation can never exceed). *)
+    evaluation can never exceed).
+    @param clock time source for settle-phase wall-clock profiling
+    (default {!Clock.monotonic}); inject {!Clock.ticker} in tests for
+    deterministic timings. *)
 val create :
   ?monitor:bool -> ?liveness_bound:int -> ?mode:eval_mode ->
-  ?max_passes:int -> Netlist.t -> t
+  ?max_passes:int -> ?clock:Clock.t -> Netlist.t -> t
 
 val netlist : t -> Netlist.t
 

@@ -9,6 +9,7 @@ type t = {
   mutable settle_seconds : float;
   hist : (int, int) Hashtbl.t;  (* settle passes -> number of cycles *)
   mutable max_passes : int;
+  mutable last_passes : int;
 }
 
 let create ~n_nodes =
@@ -18,7 +19,8 @@ let create ~n_nodes =
     evals = 0;
     settle_seconds = 0.0;
     hist = Hashtbl.create 8;
-    max_passes = 0 }
+    max_passes = 0;
+    last_passes = 0 }
 
 let reset t =
   Array.fill t.per_node 0 (Array.length t.per_node) 0;
@@ -26,7 +28,8 @@ let reset t =
   t.evals <- 0;
   t.settle_seconds <- 0.0;
   Hashtbl.reset t.hist;
-  t.max_passes <- 0
+  t.max_passes <- 0;
+  t.last_passes <- 0
 
 let note_eval t i =
   t.per_node.(i) <- t.per_node.(i) + 1;
@@ -36,6 +39,7 @@ let record_cycle t ~passes ~seconds =
   t.cycles <- t.cycles + 1;
   t.settle_seconds <- t.settle_seconds +. seconds;
   t.max_passes <- max t.max_passes passes;
+  t.last_passes <- passes;
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.hist passes) in
   Hashtbl.replace t.hist passes (prev + 1)
 
@@ -50,6 +54,8 @@ let evals_per_cycle t =
   else float_of_int t.evals /. float_of_int t.cycles
 
 let max_passes t = t.max_passes
+
+let last_passes t = t.last_passes
 
 let node_evals t i = t.per_node.(i)
 

@@ -38,6 +38,10 @@ val wall_seconds : t -> float
 (** Worst settle pass count over all cycles. *)
 val max_passes : t -> int
 
+(** Pass count of the most recent cycle (0 before the first cycle) —
+    read by per-cycle observers such as [Elastic_metrics.Sampler]. *)
+val last_passes : t -> int
+
 (** Cumulative eval calls of one dense node index. *)
 val node_evals : t -> int -> int
 

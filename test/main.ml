@@ -22,4 +22,5 @@ let () =
       ("sim.more", Test_sim_more.suite);
       ("fault", Test_fault.suite);
       ("serial", Test_serial.suite);
+      ("metrics", Test_metrics.suite);
       ("blif.cosim", Test_blif_cosim.suite) ]

@@ -164,4 +164,56 @@ let suite =
           (fun f ->
              Alcotest.(check bool) f true (Sys.file_exists f);
              Sys.remove f)
-          [ v; smv; dot ]) ]
+          [ v; smv; dot ]);
+    (* Every dispatched command must appear in the help text, and the
+       dispatcher must recognize it — the surface cannot drift. *)
+    Alcotest.test_case "help covers every dispatched command" `Quick
+      (fun () ->
+        List.iter
+          (fun cmd ->
+             Alcotest.(check bool) ("help mentions " ^ cmd) true
+               (Helpers.contains Shell.help cmd);
+             let s = Shell.create () in
+             match Shell.execute s cmd with
+             | Ok _ -> ()
+             | Error m ->
+               Alcotest.(check bool)
+                 (Fmt.str "%S is dispatched (got %S)" cmd m)
+                 false
+                 (Helpers.contains m "unknown command"))
+          Shell.commands);
+    Alcotest.test_case "metrics renders a Prometheus snapshot" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-spec" in
+        let out = exec s "metrics 120" in
+        List.iter
+          (fun needle ->
+             Alcotest.(check bool) needle true (Helpers.contains out needle))
+          [ "# TYPE elastic_engine_cycles_total counter";
+            "elastic_engine_cycles_total 120";
+            "elastic_sched_serves_total";
+            "elastic_sched_replay_penalty_cycles_bucket";
+            "le=\"+Inf\"" ];
+        let file = Filename.temp_file "metrics" ".jsonl" in
+        let _ = exec s ("metrics jsonl " ^ file ^ " 100 25") in
+        let ic = open_in file in
+        let lines = ref 0 in
+        (try
+           while true do
+             ignore (input_line ic);
+             incr lines
+           done
+         with End_of_file -> ());
+        close_in ic;
+        Sys.remove file;
+        Alcotest.(check int) "4 windows of 25" 4 !lines);
+    Alcotest.test_case "watch renders dashboard frames" `Quick (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-spec" in
+        let out = exec s "watch 100 50" in
+        List.iter
+          (fun needle ->
+             Alcotest.(check bool) needle true (Helpers.contains out needle))
+          [ "cycle 50"; "cycle 100"; "sink"; "sched"; "replay p50/p99";
+            "watched 100 cycles" ]) ]
