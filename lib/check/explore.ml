@@ -15,17 +15,20 @@ type outcome = {
   deadlock_states : string list;
   starving_channels : string list;
   counterexample : string list;
+  static_hints : string list;
 }
 
 let pp_outcome ppf o =
   Fmt.pf ppf
     "@[<v>states %d, transitions %d%s@,protocol violations: %d@,deadlocks: \
-     %d@,starving channels: %d@]"
+     %d@,starving channels: %d%a@]"
     o.explored o.transitions
     (if o.complete then "" else " (incomplete)")
     (List.length o.protocol_violations)
     (List.length o.deadlock_states)
     (List.length o.starving_channels)
+    Fmt.(list ~sep:nop (fmt "@,static hint: %s"))
+    o.static_hints
 
 let clean o =
   o.complete && o.protocol_violations = [] && o.deadlock_states = []
@@ -77,6 +80,15 @@ type state_info = {
 
 let explore ?(config = default_config) ?mode net =
   let eng = Engine.create ~monitor:false ?mode net in
+  (* Static context for the dynamic verdict: when exploration finds a
+     deadlock or violation, a lint error/warning usually names the
+     structural cause.  Infos are omitted — they are opportunities, not
+     problems. *)
+  let static_hints =
+    let report = Elastic_lint.Lint.run net in
+    List.map Diagnostic.to_string
+      (Elastic_lint.Lint.errors report @ Elastic_lint.Lint.warnings report)
+  in
   let chans = Array.of_list (Netlist.channels net) in
   let nchan = Array.length chans in
   (* Shared-module outputs are exempt from forward persistence (§4.2). *)
@@ -304,4 +316,5 @@ let explore ?(config = default_config) ?mode net =
     protocol_violations = List.rev !violations;
     deadlock_states = deadlocks;
     starving_channels = starving;
-    counterexample }
+    counterexample;
+    static_hints }

@@ -42,6 +42,12 @@ type outcome = {
       (** For the first protocol violation or deadlock: the channel
           activity along a path from the initial state, rendered like
           Table 1 (one row per channel, one column per cycle). *)
+  static_hints : string list;
+      (** Rendered error/warning diagnostics from {!Elastic_lint.Lint}
+          on the explored netlist — when exploration finds a dynamic
+          failure, the static rule naming its cause (e.g. E103 for a
+          token-free cycle deadlocking) is usually here.  Does not affect
+          {!clean}. *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit

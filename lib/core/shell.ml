@@ -4,6 +4,8 @@ open Elastic_netlist
 
 type session = {
   mutable net : Netlist.t option;
+  mutable design : string;
+      (* Name of the loaded design, for lint report headers. *)
   mutable undo : Netlist.t list;
   mutable redo : Netlist.t list;
   mutable trace_capacity : int option;
@@ -14,7 +16,8 @@ type session = {
 }
 
 let create () =
-  { net = None; undo = []; redo = []; trace_capacity = None; tracer = None }
+  { net = None; design = "netlist"; undo = []; redo = [];
+    trace_capacity = None; tracer = None }
 
 let current s = s.net
 
@@ -75,6 +78,16 @@ let help =
   critical                 critical cycle of the marked graph
   verify                   exhaustive state exploration (protocol,
                            deadlock, starvation)
+  lint                     static analysis: structural, SELF-invariant
+                           and speculation rules (E/W/I codes); fails on
+                           error findings (script exit code 1)
+  lint <code|slug>         run a single rule (e.g. lint E102, lint
+                           comb-cycle)
+  lint --fix               apply the machine-applicable fix-its from the
+                           report (insert bubble, convert buffer, seed a
+                           token); undoable
+  lint jsonl <file>        write the report as JSONL
+                           (schema elastic-speculation/lint/v1)
   inject <ch> flip <cycle> <bit>       single fault-injection experiments:
   inject <ch> drop|dup|glitch <cycle>  run a faulted and a clean engine in
   inject <ch> stall <cycle> [dur]      lockstep and classify the outcome
@@ -99,7 +112,7 @@ let commands =
     "convert"; "fifo"; "retime-fwd"; "retime-bwd"; "shannon"; "early";
     "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
     "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch";
-    "cycletime"; "area"; "bound"; "critical"; "verify"; "inject";
+    "cycletime"; "area"; "bound"; "critical"; "verify"; "lint"; "inject";
     "campaign"; "dot"; "verilog"; "blif"; "smv"; "undo"; "redo"; "help";
     "quit"; "exit" ]
 
@@ -192,7 +205,10 @@ let transform s f =
         Ok msg
       | Error m -> Error m)
 
-let catch f = try f () with Invalid_argument m | Failure m -> Error m
+let catch f =
+  try f () with
+  | Invalid_argument m | Failure m -> Error m
+  | Diagnostic.Reject d -> Error (Diagnostic.to_string d)
 
 (* Engines for simulation commands are created fresh per invocation, so
    every report (including [profile]) covers exactly one window.  When
@@ -476,6 +492,7 @@ let execute_cmd s line =
       | Some mk ->
         catch (fun () ->
             s.net <- Some (mk ());
+            s.design <- name;
             s.undo <- [];
             s.redo <- [];
             Ok (Fmt.str "loaded %s" name))
@@ -976,6 +993,43 @@ let execute_cmd s line =
             in
             Ok
               (Fmt.str "%a@.%s" Elastic_check.Explore.pp_outcome o verdict)))
+  | [ "lint" ] ->
+    with_net s (fun net ->
+        let report = Elastic_lint.Lint.run net in
+        let text = Elastic_lint.Lint.render report in
+        (* Error findings fail the command, so scripts (and the CI lint
+           gate) exit nonzero on a broken design. *)
+        if Elastic_lint.Lint.clean report then Ok text else Error text)
+  | [ "lint"; "--fix" ] ->
+    transform s (fun net ->
+        let report = Elastic_lint.Lint.run net in
+        let net', n = Elastic_lint.Lint.apply_fixes net report in
+        if n = 0 then Error "no machine-applicable fixes in the lint report"
+        else
+          Ok (net', Fmt.str "applied %d fix(es); lint again to re-check" n))
+  | [ "lint"; "jsonl"; file ] ->
+    with_net s (fun net ->
+        catch (fun () ->
+            let report = Elastic_lint.Lint.run net in
+            let oc = open_out file in
+            output_string oc
+              (Elastic_lint.Lint.jsonl ~design:s.design net report);
+            close_out oc;
+            Ok
+              (Fmt.str "wrote %s (%d diagnostics)" file
+                 (List.length report.Elastic_lint.Lint.diags))))
+  | [ "lint"; rule ] ->
+    with_net s (fun net ->
+        match Elastic_lint.Lint.find_rule rule with
+        | None ->
+          Error
+            (Fmt.str "unknown lint rule %S (a code such as E102 or a slug \
+                      such as comb-cycle)"
+               rule)
+        | Some _ ->
+          let report = Elastic_lint.Lint.run ~only:[ rule ] net in
+          let text = Elastic_lint.Lint.render report in
+          if Elastic_lint.Lint.clean report then Ok text else Error text)
   | [ "save"; file ] ->
     with_net s (fun net ->
         catch (fun () ->
@@ -985,6 +1039,7 @@ let execute_cmd s line =
       match Serial.load file with
       | Ok net ->
         s.net <- Some net;
+        s.design <- Filename.remove_extension (Filename.basename file);
         s.undo <- [];
         s.redo <- [];
         Ok (Fmt.str "opened %s" file)
@@ -1088,6 +1143,7 @@ let simulation_error_report s (e : Elastic_sim.Engine.error) =
 let execute s line =
   try execute_cmd s line with
   | Invalid_argument m | Failure m -> Error m
+  | Diagnostic.Reject d -> Error (Diagnostic.to_string d)
   | Elastic_sim.Engine.Simulation_error e ->
     Error (simulation_error_report s e)
   | Out_of_memory | Stack_overflow as e -> raise e

@@ -17,7 +17,7 @@ let insert_bubble net ~channel =
   insert_buffer net ~channel ~buffer:Netlist.Eb ~init:[]
 
 let insert_fifo net ~channel ~depth =
-  if depth < 1 then invalid_arg "Transform.insert_fifo: depth < 1";
+  Elastic_lint.Precheck.insert_fifo net ~depth;
   (* Each inserted buffer's fresh output channel carries the rest of the
      chain, so we keep splitting the channel we just created. *)
   let rec go net channel acc k =
@@ -52,11 +52,7 @@ let single_channel net node port =
          (Netlist.node net node).Netlist.name Netlist.pp_port port)
 
 let remove_buffer net b =
-  let _, init = buffer_kind_and_init net b in
-  if init <> [] then
-    invalid_arg
-      (Fmt.str "Transform.remove_buffer: %s holds %d token(s)"
-         (Netlist.node net b).Netlist.name (List.length init));
+  Elastic_lint.Precheck.remove_buffer net b;
   let in_ch = single_channel net b (Netlist.In 0) in
   let out_ch = single_channel net b (Netlist.Out 0) in
   let dst = out_ch.Netlist.dst in
@@ -68,14 +64,8 @@ let remove_buffer net b =
   Netlist.remove_node net b
 
 let convert_buffer net b buffer =
+  Elastic_lint.Precheck.convert_buffer net b buffer;
   let _, init = buffer_kind_and_init net b in
-  let capacity = match buffer with Netlist.Eb -> 2 | Netlist.Eb0 -> 1 in
-  if List.length init > capacity then
-    invalid_arg
-      (Fmt.str
-         "Transform.convert_buffer: %d token(s) exceed capacity %d of %s"
-         (List.length init) capacity
-         (Netlist.buffer_kind_name buffer));
   Netlist.replace_kind net b (Netlist.Buffer { buffer; init })
 
 let func_of net id =
@@ -88,6 +78,7 @@ let func_of net id =
          (Netlist.node net id).Netlist.name)
 
 let retime_forward net ~through =
+  Elastic_lint.Precheck.retime_forward net ~through;
   let f = func_of net through in
   (* Every input must come from a buffer holding at least one token. *)
   let input_buffers =
@@ -121,12 +112,11 @@ let retime_forward net ~through =
     ~init:[ moved ]
 
 let retime_backward net ~through =
+  Elastic_lint.Precheck.retime_backward net ~through;
   let f = func_of net through in
   let out_ch = single_channel net through (Netlist.Out 0) in
   let b = out_ch.Netlist.dst.Netlist.ep_node in
-  let buffer, init = buffer_kind_and_init net b in
-  if init <> [] then
-    invalid_arg "Transform.retime_backward: output buffer must be empty";
+  let buffer, _ = buffer_kind_and_init net b in
   let net = remove_buffer net b in
   let net, ids =
     List.fold_left
@@ -151,15 +141,11 @@ let mux_ways net mux =
          (Netlist.node net mux).Netlist.name)
 
 let shannon net ~mux =
+  Elastic_lint.Precheck.shannon net ~mux;
   let ways, _ = mux_ways net mux in
   let out_ch = single_channel net mux (Netlist.Out 0) in
   let block = out_ch.Netlist.dst.Netlist.ep_node in
   let f = func_of net block in
-  if f.Func.arity <> 1 then
-    invalid_arg
-      (Fmt.str
-         "Transform.shannon: block %s after the mux must be unary (arity %d)"
-         (Netlist.node net block).Netlist.name f.Func.arity);
   let block_out = single_channel net block (Netlist.Out 0) in
   (* Splice the block out of the multiplexor's output... *)
   let net = Netlist.remove_channel net out_ch.Netlist.ch_id in
@@ -189,30 +175,14 @@ let shannon net ~mux =
   (net, List.rev copies)
 
 let early_evaluation net ~mux =
+  Elastic_lint.Precheck.early_evaluation net ~mux;
   let ways, _ = mux_ways net mux in
   Netlist.replace_kind net mux (Netlist.Mux { ways; early = true })
 
 let share net ~blocks ~sched =
-  (match blocks with
-   | [] | [ _ ] -> invalid_arg "Transform.share: need at least two blocks"
-   | _ :: _ :: _ -> ());
+  Elastic_lint.Precheck.share net ~blocks;
   let funcs = List.map (func_of net) blocks in
-  let f =
-    match funcs with
-    | f :: rest ->
-      List.iter
-        (fun f' ->
-           if not (String.equal f.Func.name f'.Func.name)
-              || f.Func.arity <> 1 || f'.Func.arity <> 1 then
-             invalid_arg
-               (Fmt.str
-                  "Transform.share: blocks must be identical unary \
-                   functions (%s vs %s)"
-                  f.Func.name f'.Func.name))
-        rest;
-      f
-    | [] -> assert false
-  in
+  let f = match funcs with f :: _ -> f | [] -> assert false in
   let ways = List.length blocks in
   let net, sh =
     Netlist.add_node net

@@ -6,9 +6,12 @@ open Elastic_netlist
     §4).
 
     Every function returns a new netlist (the input is unchanged), so an
-    exploration shell can keep undo/redo histories.  All raise
-    [Invalid_argument] with a descriptive message when preconditions do
-    not hold; they never produce a netlist that fails validation. *)
+    exploration shell can keep undo/redo histories.  Preconditions are
+    checked by {!Elastic_lint.Precheck} before any mutation: an illegal
+    application raises [Diagnostic.Reject] carrying a typed diagnostic
+    (codes E301-E308) naming the rule and the offending node; they never
+    produce a netlist that fails validation.  ([Invalid_argument] still
+    escapes for malformed references, e.g. an unknown node id.) *)
 
 (** {1 Buffer transformations} *)
 
@@ -27,18 +30,19 @@ val insert_bubble :
     channel — a FIFO of capacity [2 * depth] (elastic systems are "a
     collection of blocks and FIFOs", §3); preserves transfer equivalence
     and adds [depth] cycles of forward latency.
-    @raise Invalid_argument when [depth < 1]. *)
+    @raise Diagnostic.Reject (E301) when [depth < 1]. *)
 val insert_fifo :
   Netlist.t -> channel:Netlist.channel_id -> depth:int ->
   Netlist.t * Netlist.node_id list
 
 (** [remove_buffer net b] splices an {e empty} buffer out.
-    @raise Invalid_argument if the buffer holds tokens. *)
+    @raise Diagnostic.Reject (E302) if the buffer holds tokens. *)
 val remove_buffer : Netlist.t -> Netlist.node_id -> Netlist.t
 
 (** [convert_buffer net b kind] swaps the buffer implementation, e.g. to
     the zero-backward-latency EB of §4.3 for fast anti-token return.
-    @raise Invalid_argument if the stored tokens exceed the new capacity. *)
+    @raise Diagnostic.Reject (E303) if the stored tokens exceed the new
+    capacity [C = Lf + Lb]. *)
 val convert_buffer :
   Netlist.t -> Netlist.node_id -> Netlist.buffer_kind -> Netlist.t
 

@@ -1,0 +1,350 @@
+(* Seeded mutation generator for lint validation.
+
+   Each mutation takes a lint-clean base design and breaks exactly one
+   invariant, so the test suite can assert a 1:1 mapping between
+   mutations and rule codes: linting the mutated netlist must produce
+   exactly the target rule's code and nothing else.  This is the static
+   analogue of the fault-injection campaigns in [lib/fault]: instead of
+   flipping runtime handshakes we graft structural defects, and instead
+   of a recovery check the oracle is the rule registry itself. *)
+
+open Elastic_kernel
+open Elastic_netlist
+open Elastic_sched
+
+type t = {
+  m_code : string;  (** The single rule code the mutation must trigger. *)
+  m_name : string;
+  m_describe : string;
+  m_net : unit -> Netlist.t;
+}
+
+let ident = Func.identity ()
+
+let token = Value.Int 7
+
+(* Lint-clean base: src -> f -> eb(1 token) -> sink.  No mux, no shared,
+   no cycle, so no info-level findings either — the mutated netlist's
+   code set minus the base's is exactly the mutation's code. *)
+let base () =
+  let net = Netlist.empty in
+  let net, s =
+    Netlist.add_node ~name:"src" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, f = Netlist.add_node ~name:"f" net (Netlist.Func ident) in
+  let net, b =
+    Netlist.add_node ~name:"eb" net
+      (Netlist.Buffer { buffer = Netlist.Eb; init = [ token ] })
+  in
+  let net, k =
+    Netlist.add_node ~name:"out" net (Netlist.Sink Netlist.Always_ready)
+  in
+  let net, _ = Netlist.connect net (s, Netlist.Out 0) (f, Netlist.In 0) in
+  let net, c_fb = Netlist.connect net (f, Netlist.Out 0) (b, Netlist.In 0) in
+  let net, _ = Netlist.connect net (b, Netlist.Out 0) (k, Netlist.In 0) in
+  (net, s, f, b, k, c_fb)
+
+let connect_exn net a b =
+  let net, _ = Netlist.connect net a b in
+  net
+
+(* {1 Structural mutations (E001-E004)} *)
+
+let unconnected_port () =
+  let net, _, _, _, _, c_fb = base () in
+  (* Severing f -> eb leaves f.Out 0 and eb.In 0 unconnected. *)
+  Netlist.remove_channel net c_fb
+
+let multi_connected_port () =
+  let net, s, f, _, _, _ = base () in
+  (* A second src -> f channel double-uses both endpoints. *)
+  let net, _ =
+    Netlist.unsafe_connect net (s, Netlist.Out 0) (f, Netlist.In 0)
+  in
+  net
+
+let dangling_channel () =
+  let net, _, _, _, _, _ = base () in
+  (* Both endpoints name nodes that do not exist, so no real port is
+     double-used and only E003 fires. *)
+  let net, _ =
+    Netlist.unsafe_connect net (9001, Netlist.Out 0) (9002, Netlist.In 0)
+  in
+  net
+
+let bad_width () =
+  let net, f, b =
+    let net, _, f, b, _, c_fb = base () in
+    (Netlist.remove_channel net c_fb, f, b)
+  in
+  let net, _ =
+    Netlist.unsafe_connect ~width:0 net (f, Netlist.Out 0)
+      (b, Netlist.In 0)
+  in
+  net
+
+(* {1 Reachability mutations (W005/W006)} *)
+
+let unreachable_island () =
+  let net, _, _, _, _, _ = base () in
+  (* A self-sustaining token loop with a drain, fed by no source. *)
+  let net, eb =
+    Netlist.add_node ~name:"island_eb" net
+      (Netlist.Buffer { buffer = Netlist.Eb; init = [ token ] })
+  in
+  let net, fk = Netlist.add_node ~name:"island_fork" net (Netlist.Fork 2) in
+  let net, sk =
+    Netlist.add_node ~name:"island_out" net
+      (Netlist.Sink Netlist.Always_ready)
+  in
+  let net = connect_exn net (eb, Netlist.Out 0) (fk, Netlist.In 0) in
+  let net = connect_exn net (fk, Netlist.Out 0) (eb, Netlist.In 0) in
+  connect_exn net (fk, Netlist.Out 1) (sk, Netlist.In 0)
+
+let sinkless_loop () =
+  let net, _, _, _, _, _ = base () in
+  (* src -> join whose output only feeds the loop back: tokens enter but
+     can never reach a sink. *)
+  let net, s2 =
+    Netlist.add_node ~name:"loop_src" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, j =
+    Netlist.add_node ~name:"loop_join" net
+      (Netlist.Func (Func.add_int ~arity:2 ()))
+  in
+  let net, eb =
+    Netlist.add_node ~name:"loop_eb" net
+      (Netlist.Buffer { buffer = Netlist.Eb; init = [ token ] })
+  in
+  let net = connect_exn net (s2, Netlist.Out 0) (j, Netlist.In 0) in
+  let net = connect_exn net (eb, Netlist.Out 0) (j, Netlist.In 1) in
+  connect_exn net (j, Netlist.Out 0) (eb, Netlist.In 0)
+
+(* {1 SELF invariant mutations (E101-E103, W104)} *)
+
+let overfilled_buffer () =
+  let net, _, _, b, _, _ = base () in
+  Netlist.replace_kind net b
+    (Netlist.Buffer
+       { buffer = Netlist.Eb; init = [ token; token; token ] })
+
+(* A mux-based loop: sel_src -> m.Sel, s1 -> m.In 0, m.Out -> fork,
+   fork.Out 0 -> sink, fork.Out 1 -> g -> [optional eb ->] m.In 1. *)
+let mux_loop ~with_eb () =
+  let net, _, _, _, _, _ = base () in
+  let net, sel =
+    Netlist.add_node ~name:"sel_src" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, s1 =
+    Netlist.add_node ~name:"in_src" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, m =
+    Netlist.add_node ~name:"loop_mux" net
+      (Netlist.Mux { ways = 2; early = false })
+  in
+  let net, fk = Netlist.add_node ~name:"loop_fork" net (Netlist.Fork 2) in
+  let net, g = Netlist.add_node ~name:"loop_g" net (Netlist.Func ident) in
+  let net, sk =
+    Netlist.add_node ~name:"loop_out" net
+      (Netlist.Sink Netlist.Always_ready)
+  in
+  let net = connect_exn net (sel, Netlist.Out 0) (m, Netlist.Sel) in
+  let net = connect_exn net (s1, Netlist.Out 0) (m, Netlist.In 0) in
+  let net = connect_exn net (m, Netlist.Out 0) (fk, Netlist.In 0) in
+  let net = connect_exn net (fk, Netlist.Out 0) (sk, Netlist.In 0) in
+  let net = connect_exn net (fk, Netlist.Out 1) (g, Netlist.In 0) in
+  if not with_eb then
+    connect_exn net (g, Netlist.Out 0) (m, Netlist.In 1)
+  else begin
+    let net, eb =
+      Netlist.add_node ~name:"loop_eb" net
+        (Netlist.Buffer { buffer = Netlist.Eb; init = [] })
+    in
+    let net = connect_exn net (g, Netlist.Out 0) (eb, Netlist.In 0) in
+    connect_exn net (eb, Netlist.Out 0) (m, Netlist.In 1)
+  end
+
+let comb_cycle () = mux_loop ~with_eb:false ()
+
+let token_free_cycle () = mux_loop ~with_eb:true ()
+
+let antitoken_through_eb () =
+  let net, _, _, _, _, _ = base () in
+  let net, sel =
+    Netlist.add_node ~name:"esel" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, s0 =
+    Netlist.add_node ~name:"ea" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, s1 =
+    Netlist.add_node ~name:"eb_src" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, slow =
+    Netlist.add_node ~name:"slow_eb" net
+      (Netlist.Buffer { buffer = Netlist.Eb; init = [] })
+  in
+  let net, m =
+    Netlist.add_node ~name:"emux" net
+      (Netlist.Mux { ways = 2; early = true })
+  in
+  let net, sk =
+    Netlist.add_node ~name:"eout" net (Netlist.Sink Netlist.Always_ready)
+  in
+  let net = connect_exn net (sel, Netlist.Out 0) (m, Netlist.Sel) in
+  let net = connect_exn net (s0, Netlist.Out 0) (slow, Netlist.In 0) in
+  let net = connect_exn net (slow, Netlist.Out 0) (m, Netlist.In 0) in
+  let net = connect_exn net (s1, Netlist.Out 0) (m, Netlist.In 1) in
+  connect_exn net (m, Netlist.Out 0) (sk, Netlist.In 0)
+
+(* {1 Speculation mutations (W201, I200-I202)} *)
+
+let external_scheduler () =
+  let net, _, _, _, _, _ = base () in
+  let net, a =
+    Netlist.add_node ~name:"sh_a" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, b =
+    Netlist.add_node ~name:"sh_b" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, sh =
+    Netlist.add_node ~name:"sh" net
+      (Netlist.Shared
+         { ways = 2; f = ident; sched = Scheduler.External; hinted = false })
+  in
+  let net, ka =
+    Netlist.add_node ~name:"sh_out_a" net
+      (Netlist.Sink Netlist.Always_ready)
+  in
+  let net, kb =
+    Netlist.add_node ~name:"sh_out_b" net
+      (Netlist.Sink Netlist.Always_ready)
+  in
+  let net = connect_exn net (a, Netlist.Out 0) (sh, Netlist.In 0) in
+  let net = connect_exn net (b, Netlist.Out 0) (sh, Netlist.In 1) in
+  let net = connect_exn net (sh, Netlist.Out 0) (ka, Netlist.In 0) in
+  connect_exn net (sh, Netlist.Out 1) (kb, Netlist.In 0)
+
+(* Fig. 1(a)-style loop: the mux select is computed from the mux's own
+   token-bearing cycle. *)
+let select_on_cycle ~early () =
+  let net, _, _, _, _, _ = base () in
+  let net, s0 =
+    Netlist.add_node ~name:"cyc_in" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, m =
+    Netlist.add_node ~name:"cyc_mux" net (Netlist.Mux { ways = 2; early })
+  in
+  let net, f1 = Netlist.add_node ~name:"cyc_f" net (Netlist.Func ident) in
+  let net, eb =
+    Netlist.add_node ~name:"cyc_eb" net
+      (Netlist.Buffer { buffer = Netlist.Eb; init = [ token ] })
+  in
+  let net, fk = Netlist.add_node ~name:"cyc_fork" net (Netlist.Fork 3) in
+  let net, g = Netlist.add_node ~name:"cyc_g" net (Netlist.Func ident) in
+  let net, sk =
+    Netlist.add_node ~name:"cyc_out" net (Netlist.Sink Netlist.Always_ready)
+  in
+  let net = connect_exn net (s0, Netlist.Out 0) (m, Netlist.In 0) in
+  let net = connect_exn net (m, Netlist.Out 0) (f1, Netlist.In 0) in
+  let net = connect_exn net (f1, Netlist.Out 0) (eb, Netlist.In 0) in
+  let net = connect_exn net (eb, Netlist.Out 0) (fk, Netlist.In 0) in
+  let net = connect_exn net (fk, Netlist.Out 0) (g, Netlist.In 0) in
+  let net = connect_exn net (g, Netlist.Out 0) (m, Netlist.Sel) in
+  let net = connect_exn net (fk, Netlist.Out 1) (sk, Netlist.In 0) in
+  connect_exn net (fk, Netlist.Out 2) (m, Netlist.In 1)
+
+let shared_arms () =
+  let net, _, _, _, _, _ = base () in
+  let net, a =
+    Netlist.add_node ~name:"arm_a" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, b =
+    Netlist.add_node ~name:"arm_b" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, sel =
+    Netlist.add_node ~name:"arm_sel" net
+      (Netlist.Source (Netlist.Counter { start = 0; step = 1 }))
+  in
+  let net, sh =
+    Netlist.add_node ~name:"arm_sh" net
+      (Netlist.Shared
+         { ways = 2; f = ident; sched = Scheduler.Sticky; hinted = false })
+  in
+  let net, m =
+    Netlist.add_node ~name:"arm_mux" net
+      (Netlist.Mux { ways = 2; early = true })
+  in
+  let net, sk =
+    Netlist.add_node ~name:"arm_out" net (Netlist.Sink Netlist.Always_ready)
+  in
+  let net = connect_exn net (a, Netlist.Out 0) (sh, Netlist.In 0) in
+  let net = connect_exn net (b, Netlist.Out 0) (sh, Netlist.In 1) in
+  let net = connect_exn net (sh, Netlist.Out 0) (m, Netlist.In 0) in
+  let net = connect_exn net (sh, Netlist.Out 1) (m, Netlist.In 1) in
+  let net = connect_exn net (sel, Netlist.Out 0) (m, Netlist.Sel) in
+  connect_exn net (m, Netlist.Out 0) (sk, Netlist.In 0)
+
+let catalogue =
+  [
+    { m_code = "E001"; m_name = "sever-channel";
+      m_describe = "remove the f -> eb channel, leaving two open ports";
+      m_net = unconnected_port };
+    { m_code = "E002"; m_name = "duplicate-channel";
+      m_describe = "connect src -> f a second time";
+      m_net = multi_connected_port };
+    { m_code = "E003"; m_name = "ghost-endpoints";
+      m_describe = "add a channel between two nonexistent nodes";
+      m_net = dangling_channel };
+    { m_code = "E004"; m_name = "zero-width";
+      m_describe = "rebuild f -> eb with width 0";
+      m_net = bad_width };
+    { m_code = "W005"; m_name = "sourceless-island";
+      m_describe = "graft a token loop fed by no source";
+      m_net = unreachable_island };
+    { m_code = "W006"; m_name = "sinkless-loop";
+      m_describe = "graft a source feeding a loop that reaches no sink";
+      m_net = sinkless_loop };
+    { m_code = "E101"; m_name = "overfill-eb";
+      m_describe = "give the EB three initial tokens (capacity 2)";
+      m_net = overfilled_buffer };
+    { m_code = "E102"; m_name = "bufferless-loop";
+      m_describe = "graft a mux loop crossing no elastic buffer";
+      m_net = comb_cycle };
+    { m_code = "E103"; m_name = "token-free-loop";
+      m_describe = "graft a mux loop whose only buffer is empty";
+      m_net = token_free_cycle };
+    { m_code = "W104"; m_name = "slow-recovery-eb";
+      m_describe = "feed an early mux input through a plain EB";
+      m_net = antitoken_through_eb };
+    { m_code = "W201"; m_name = "schedulerless-shared";
+      m_describe = "graft a shared module with an External scheduler";
+      m_net = external_scheduler };
+    { m_code = "I200"; m_name = "critical-select";
+      m_describe = "graft a plain mux whose select is on its own cycle";
+      m_net = select_on_cycle ~early:false };
+    { m_code = "I201"; m_name = "speculative-loop";
+      m_describe = "graft an early mux whose select is on its own cycle";
+      m_net = select_on_cycle ~early:true };
+    { m_code = "I202"; m_name = "shared-speculative-arms";
+      m_describe = "graft one shared block feeding both arms of a mux";
+      m_net = shared_arms };
+  ]
+
+(* Campaign-style seeded sampling (same idiom as lib/fault): a
+   deterministic pseudo-random pick of [count] mutations. *)
+let random ~seed ~count =
+  let st = Random.State.make [| seed; 0x11a7 |] in
+  let n = List.length catalogue in
+  List.init count (fun _ -> List.nth catalogue (Random.State.int st n))

@@ -1,0 +1,193 @@
+(* Transform precondition checkers.
+
+   Each transformation in [Elastic_core.Transform] consults the matching
+   checker before touching the netlist; an illegal application fails with
+   a typed {!Elastic_netlist.Diagnostic.t} (raised as [Diagnostic.Reject])
+   instead of a bare [Invalid_argument] string, so shells and CI can
+   report the rule code and the offending node.  The checkers are pure:
+   they never modify the netlist and raise on the {e first} violated
+   precondition. *)
+
+open Elastic_netlist
+
+let fail ~code ~rule ?node ?node_name ?channel ?channel_name ?fixit msg =
+  Diagnostic.reject
+    (Diagnostic.make ~code ~rule ~severity:Diagnostic.Error ?node ?node_name
+       ?channel ?channel_name ?fixit msg)
+
+let fail_node ~code ~rule (n : Netlist.node) msg =
+  fail ~code ~rule ~node:n.Netlist.id ~node_name:n.Netlist.name msg
+
+(* E301 *)
+let insert_fifo _net ~depth =
+  if depth < 1 then
+    fail ~code:"E301" ~rule:"fifo-depth"
+      (Fmt.str "insert_fifo: depth %d < 1 (a FIFO needs at least one EB)"
+         depth)
+
+let buffer_of ~code ~rule net b =
+  let n = Netlist.node net b in
+  match n.Netlist.kind with
+  | Netlist.Buffer { buffer; init } -> (n, buffer, init)
+  | _ ->
+    fail_node ~code ~rule n
+      (Fmt.str "node %s (%s) is not a buffer" n.Netlist.name
+         (Netlist.kind_name n.Netlist.kind))
+
+let channel_on ~code ~rule net (n : Netlist.node) port =
+  match Netlist.channel_at net n.Netlist.id port with
+  | Some c -> c
+  | None ->
+    fail_node ~code ~rule n
+      (Fmt.str "node %s has no channel at %a" n.Netlist.name Netlist.pp_port
+         port)
+
+(* E302 *)
+let remove_buffer net b =
+  let code = "E302" and rule = "remove-buffer" in
+  let n, _, init = buffer_of ~code ~rule net b in
+  if init <> [] then
+    fail_node ~code ~rule n
+      (Fmt.str
+         "remove_buffer: %s holds %d token(s); removing it would drop them"
+         n.Netlist.name (List.length init));
+  ignore (channel_on ~code ~rule net n (Netlist.In 0));
+  ignore (channel_on ~code ~rule net n (Netlist.Out 0))
+
+(* E303 *)
+let convert_buffer net b target =
+  let code = "E303" and rule = "convert-buffer" in
+  let n, _, init = buffer_of ~code ~rule net b in
+  let capacity = Netlist.buffer_capacity target in
+  if List.length init > capacity then
+    fail_node ~code ~rule n
+      (Fmt.str
+         "convert_buffer: %d token(s) in %s exceed capacity C = Lf + Lb = \
+          %d of %s"
+         (List.length init) n.Netlist.name capacity
+         (Netlist.buffer_kind_name target))
+
+let func_of ~code ~rule net id =
+  let n = Netlist.node net id in
+  match n.Netlist.kind with
+  | Netlist.Func f -> (n, f)
+  | _ ->
+    fail_node ~code ~rule n
+      (Fmt.str "node %s (%s) is not a function block" n.Netlist.name
+         (Netlist.kind_name n.Netlist.kind))
+
+(* E304 *)
+let retime_forward net ~through =
+  let code = "E304" and rule = "retime-forward" in
+  let n, f = func_of ~code ~rule net through in
+  List.iter
+    (fun i ->
+       let c = channel_on ~code ~rule net n (Netlist.In i) in
+       let src = Netlist.node net c.Netlist.src.Netlist.ep_node in
+       match src.Netlist.kind with
+       | Netlist.Buffer { init = []; _ } ->
+         fail_node ~code ~rule src
+           (Fmt.str
+              "retime_forward: buffer %s is empty (moving %s backward \
+               needs one token on every input)"
+              src.Netlist.name f.Func.name)
+       | Netlist.Buffer _ -> ()
+       | _ ->
+         fail ~code ~rule ~node:src.Netlist.id ~node_name:src.Netlist.name
+           ~channel:c.Netlist.ch_id ~channel_name:c.Netlist.ch_name
+           (Fmt.str
+              "retime_forward: input %d of %s comes from %s (%s), not a \
+               buffer"
+              i n.Netlist.name src.Netlist.name
+              (Netlist.kind_name src.Netlist.kind)))
+    (List.init f.Func.arity (fun i -> i))
+
+(* E305 *)
+let retime_backward net ~through =
+  let code = "E305" and rule = "retime-backward" in
+  let n, _ = func_of ~code ~rule net through in
+  let out_ch = channel_on ~code ~rule net n (Netlist.Out 0) in
+  let b = Netlist.node net out_ch.Netlist.dst.Netlist.ep_node in
+  match b.Netlist.kind with
+  | Netlist.Buffer { init = _ :: _; _ } ->
+    fail_node ~code ~rule b
+      (Fmt.str
+         "retime_backward: output buffer %s must be empty (its tokens \
+          cannot be un-computed through %s)"
+         b.Netlist.name n.Netlist.name)
+  | Netlist.Buffer _ -> ignore (channel_on ~code ~rule net b (Netlist.Out 0))
+  | _ ->
+    fail_node ~code ~rule b
+      (Fmt.str "retime_backward: %s feeds %s (%s), not a buffer"
+         n.Netlist.name b.Netlist.name
+         (Netlist.kind_name b.Netlist.kind))
+
+let mux_of ~code ~rule net id =
+  let n = Netlist.node net id in
+  match n.Netlist.kind with
+  | Netlist.Mux { ways; early } -> (n, ways, early)
+  | _ ->
+    fail_node ~code ~rule n
+      (Fmt.str "node %s (%s) is not a multiplexor" n.Netlist.name
+         (Netlist.kind_name n.Netlist.kind))
+
+(* E306 *)
+let shannon net ~mux =
+  let code = "E306" and rule = "shannon" in
+  let n, ways, _ = mux_of ~code ~rule net mux in
+  let out_ch = channel_on ~code ~rule net n (Netlist.Out 0) in
+  let block = Netlist.node net out_ch.Netlist.dst.Netlist.ep_node in
+  (match block.Netlist.kind with
+   | Netlist.Func f when f.Func.arity = 1 -> ()
+   | Netlist.Func f ->
+     fail_node ~code ~rule block
+       (Fmt.str
+          "shannon: block %s after the mux must be unary (arity %d) to \
+           commute with the select"
+          block.Netlist.name f.Func.arity)
+   | _ ->
+     fail_node ~code ~rule block
+       (Fmt.str "shannon: mux %s feeds %s (%s), not a function block"
+          n.Netlist.name block.Netlist.name
+          (Netlist.kind_name block.Netlist.kind)));
+  ignore (channel_on ~code ~rule net block (Netlist.Out 0));
+  List.iter
+    (fun i -> ignore (channel_on ~code ~rule net n (Netlist.In i)))
+    (List.init ways (fun i -> i))
+
+(* E307 *)
+let early_evaluation net ~mux =
+  let code = "E307" and rule = "early-evaluation" in
+  ignore (mux_of ~code ~rule net mux)
+
+(* E308 *)
+let share net ~blocks =
+  let code = "E308" and rule = "share" in
+  (match blocks with
+   | [] | [ _ ] ->
+     fail ~code ~rule
+       (Fmt.str "share: need at least two blocks, got %d"
+          (List.length blocks))
+   | _ :: _ :: _ -> ());
+  let funcs = List.map (func_of ~code ~rule net) blocks in
+  match funcs with
+  | (n0, f0) :: rest ->
+    List.iter
+      (fun ((n, f) : Netlist.node * Func.t) ->
+         if f.Func.arity <> 1 || f0.Func.arity <> 1 then
+           fail_node ~code ~rule
+             (if f.Func.arity <> 1 then n else n0)
+             (Fmt.str
+                "share: blocks must be unary (%s has arity %d)"
+                (if f.Func.arity <> 1 then f.Func.name else f0.Func.name)
+                (max f.Func.arity f0.Func.arity));
+         if not (String.equal f0.Func.name f.Func.name) then
+           fail_node ~code ~rule n
+             (Fmt.str
+                "share: blocks must compute the same function (%s vs %s)"
+                f0.Func.name f.Func.name);
+         List.iter
+           (fun port -> ignore (channel_on ~code ~rule net n port))
+           [ Netlist.In 0; Netlist.Out 0 ])
+      ((n0, f0) :: rest)
+  | [] -> assert false

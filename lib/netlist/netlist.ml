@@ -25,6 +25,9 @@ type buffer_kind = Eb | Eb0
 
 let buffer_kind_name = function Eb -> "eb" | Eb0 -> "eb0"
 
+(* C = Lf + Lb: Eb is (1,1), Eb0 the Fig. 5 (1,0) implementation. *)
+let buffer_capacity = function Eb -> 2 | Eb0 -> 1
+
 type source_spec =
   | Stream of Value.t list
   | Counter of { start : int; step : int }
@@ -206,6 +209,30 @@ let connect ?name ?(width = 8) t (n1, p1) (n2, p2) =
             next_channel = id + 1 },
    id)
 
+(* Raw channel insertion with no direction, arity or occupancy checks —
+   the lint mutation generator uses it to build the broken netlists the
+   safe [connect] refuses to create (multiply-driven ports, dangling
+   endpoints, zero widths). *)
+let unsafe_connect ?name ?(width = 8) t (n1, p1) (n2, p2) =
+  let id = t.next_channel in
+  let ep_name nid p =
+    match IntMap.find_opt nid t.node_map with
+    | Some n -> Fmt.str "%s.%a" n.name pp_port p
+    | None -> Fmt.str "n%d.%a" nid pp_port p
+  in
+  let ch_name =
+    match name with
+    | Some n -> n
+    | None -> Fmt.str "%s->%s" (ep_name n1 p1) (ep_name n2 p2)
+  in
+  let c =
+    { ch_id = id; ch_name; src = { ep_node = n1; ep_port = p1 };
+      dst = { ep_node = n2; ep_port = p2 }; width }
+  in
+  ({ t with channel_map = IntMap.add id c t.channel_map;
+            next_channel = id + 1 },
+   id)
+
 let remove_channel t id =
   let _ = channel t id in
   { t with channel_map = IntMap.remove id t.channel_map }
@@ -261,7 +288,10 @@ let set_src t cid ep = set_end t cid ep ~src:true
 
 let set_dst t cid ep = set_end t cid ep ~src:false
 
-let validate t =
+(* Structural well-formedness, reported as typed diagnostics: the lint
+   engine registers these checks as rules E001-E004, and [validate]
+   below (the historical string-list API) delegates here. *)
+let diagnostics t =
   let problems = ref [] in
   let add p = problems := p :: !problems in
   IntMap.iter
@@ -279,26 +309,46 @@ let validate t =
          | [ _ ] -> ()
          | [] ->
            add
-             (Fmt.str "node %s (%s): %s port %a is unconnected" n.name
-                (kind_name n.kind)
-                (if as_output then "output" else "input")
-                pp_port port)
-         | _ :: _ :: _ ->
+             (Diagnostic.make ~code:"E001" ~rule:"unconnected-port"
+                ~severity:Diagnostic.Error ~node:n.id ~node_name:n.name
+                (Fmt.str "node %s (%s): %s port %a is unconnected" n.name
+                   (kind_name n.kind)
+                   (if as_output then "output" else "input")
+                   pp_port port))
+         | _ :: c :: _ ->
            add
-             (Fmt.str "node %s: port %a connected more than once" n.name
-                pp_port port)
+             (Diagnostic.make ~code:"E002" ~rule:"multi-connected-port"
+                ~severity:Diagnostic.Error ~node:n.id ~node_name:n.name
+                ~channel:c.ch_id ~channel_name:c.ch_name
+                (Fmt.str "node %s: port %a connected more than once" n.name
+                   pp_port port))
        in
        List.iter (check_port ~as_output:false) (required_inputs n.kind);
        List.iter (check_port ~as_output:true) (required_outputs n.kind))
     t.node_map;
   IntMap.iter
     (fun _ c ->
-       if not (IntMap.mem c.src.ep_node t.node_map) then
-         add (Fmt.str "channel %s: dangling source node" c.ch_name);
-       if not (IntMap.mem c.dst.ep_node t.node_map) then
-         add (Fmt.str "channel %s: dangling destination node" c.ch_name))
+       let dangling which nid =
+         if not (IntMap.mem nid t.node_map) then
+           add
+             (Diagnostic.make ~code:"E003" ~rule:"dangling-endpoint"
+                ~severity:Diagnostic.Error ~channel:c.ch_id
+                ~channel_name:c.ch_name
+                (Fmt.str "channel %s: dangling %s node" c.ch_name which))
+       in
+       dangling "source" c.src.ep_node;
+       dangling "destination" c.dst.ep_node;
+       if c.width < 1 then
+         add
+           (Diagnostic.make ~code:"E004" ~rule:"bad-width"
+              ~severity:Diagnostic.Error ~channel:c.ch_id
+              ~channel_name:c.ch_name
+              (Fmt.str "channel %s: width %d < 1" c.ch_name c.width)))
     t.channel_map;
   List.rev !problems
+
+let validate t =
+  List.map (fun (d : Diagnostic.t) -> d.Diagnostic.message) (diagnostics t)
 
 let validate_exn t =
   match validate t with

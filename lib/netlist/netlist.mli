@@ -32,6 +32,9 @@ type buffer_kind = Eb | Eb0
 
 val buffer_kind_name : buffer_kind -> string
 
+(** Token capacity [C = Lf + Lb]: 2 for [Eb], 1 for [Eb0]. *)
+val buffer_capacity : buffer_kind -> int
+
 (** Token sources (environment inputs). *)
 type source_spec =
   | Stream of Value.t list  (** Finite scripted stream, then silence. *)
@@ -117,6 +120,15 @@ val connect :
   ?name:string -> ?width:int -> t -> node_id * port -> node_id * port ->
   t * channel_id
 
+(** [unsafe_connect] adds a channel {e without any} direction, arity or
+    occupancy checks, and accepts endpoints naming nodes that do not
+    exist.  It exists for the lint test harness (the mutation generator
+    must be able to build the malformed netlists that [connect] refuses);
+    production construction code must use {!connect}. *)
+val unsafe_connect :
+  ?name:string -> ?width:int -> t -> node_id * port -> node_id * port ->
+  t * channel_id
+
 (** {1 Modification (used by transformations)} *)
 
 val remove_node : t -> node_id -> t
@@ -168,9 +180,18 @@ val required_outputs : kind -> port list
 
 (** {1 Validation} *)
 
+(** Structural well-formedness as typed diagnostics: every required port
+    connected exactly once (E001/E002), no dangling channel endpoints
+    (E003), positive channel widths (E004).  The lint engine
+    ({!module:Elastic_lint}) registers these as its structural rules and
+    layers the graph-level SELF and speculation rules on top. *)
+val diagnostics : t -> Diagnostic.t list
+
 (** [validate t] checks that every required port of every node is
     connected exactly once and that endpoint directions are consistent.
-    Returns the list of problems, empty when the netlist is well formed. *)
+    Returns the list of problems, empty when the netlist is well formed.
+    (The historical string API: exactly the messages of
+    {!diagnostics}.) *)
 val validate : t -> string list
 
 (** [validate_exn t] raises [Invalid_argument] with the concatenated

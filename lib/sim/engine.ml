@@ -5,20 +5,23 @@ type error = {
   err_cycle : int;
   err_node : Netlist.node_id option;
   err_channel : Netlist.channel_id option;
+  err_code : string option;
   err_msg : string;
 }
 
 exception Simulation_error of error
 
-let error ?node ?channel ~cycle msg =
+let error ?code ?node ?channel ~cycle msg =
   { err_cycle = cycle; err_node = node; err_channel = channel;
-    err_msg = msg }
+    err_code = code; err_msg = msg }
 
-let fail ?node ?channel ~cycle msg =
-  raise (Simulation_error (error ?node ?channel ~cycle msg))
+let fail ?code ?node ?channel ~cycle msg =
+  raise (Simulation_error (error ?code ?node ?channel ~cycle msg))
 
 let pp_error ppf e =
-  Fmt.pf ppf "cycle %d%a%a: %s" e.err_cycle
+  Fmt.pf ppf "cycle %d%a%a%a: %s" e.err_cycle
+    Fmt.(option (fmt " [%s]"))
+    e.err_code
     Fmt.(option (fmt ", node %d"))
     e.err_node
     Fmt.(option (fmt ", channel %d"))
@@ -79,10 +82,18 @@ let dense_index t cid =
 
 let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
     ?max_passes ?(clock = Clock.monotonic) net =
-  (match Netlist.validate net with
+  (match Netlist.diagnostics net with
    | [] -> ()
-   | ps ->
-     fail ~cycle:0 ("invalid netlist: " ^ String.concat "; " ps));
+   | d :: _ as ds ->
+     (* Same message as the historical string API, but the first
+        diagnostic lends its lint rule code and provenance. *)
+     fail ~cycle:0 ~code:d.Diagnostic.code ?node:d.Diagnostic.node
+       ?channel:d.Diagnostic.channel
+       ("invalid netlist: "
+        ^ String.concat "; "
+            (List.map
+               (fun (d : Diagnostic.t) -> d.Diagnostic.message)
+               ds)));
   let chans = Array.of_list (Netlist.channels net) in
   let ch_index = Hashtbl.create 64 in
   Array.iteri
@@ -328,9 +339,12 @@ let check_determined t =
       | c :: _ ->
         (Some c.Netlist.src.Netlist.ep_node, Some c.Netlist.ch_id)
     in
+    (* "E102" is Elastic_lint's comb-cycle rule: the static analogue of
+       this dynamic failure (the sim layer cannot depend on the lint
+       library, so the code is quoted; a registry test keeps it honest). *)
     raise
       (Simulation_error
-         (error ?node ?channel ~cycle:t.cycle
+         (error ~code:"E102" ?node ?channel ~cycle:t.cycle
             (Fmt.str "combinational cycle, undetermined channels: %s"
                (String.concat ", " names))))
   end

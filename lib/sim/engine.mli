@@ -25,6 +25,11 @@ type error = {
   err_cycle : int;
   err_node : Netlist.node_id option;
   err_channel : Netlist.channel_id option;
+  err_code : string option;
+      (** Lint rule code when the failure has a known static cause: the
+          structural code (E001-E004) that made [create] refuse the
+          netlist, or ["E102"] when the combinational phase found an
+          unbroken cycle at runtime. *)
   err_msg : string;
 }
 

@@ -23,4 +23,5 @@ let () =
       ("fault", Test_fault.suite);
       ("serial", Test_serial.suite);
       ("metrics", Test_metrics.suite);
-      ("blif.cosim", Test_blif_cosim.suite) ]
+      ("blif.cosim", Test_blif_cosim.suite);
+      ("lint", Test_lint.suite) ]

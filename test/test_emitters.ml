@@ -53,6 +53,36 @@ let verilog_suite =
                 true
                 (contains v (Fmt.str "ch%d_vp" c.Netlist.ch_id)))
            (Netlist.channels h.Figures.net));
+    Alcotest.test_case "multi-way mux binds the full select bus" `Quick
+      (fun () ->
+         (* golden output for the >2-way select binding: the controller
+            gets a SELW-bit select and the datapath compares the whole
+            bus, not bit 0. *)
+         let b = builder () in
+         let sel = src_stream b [ 0; 1; 2 ] in
+         let m = add b ~name:"m" (Mux { ways = 3; early = true }) in
+         let k = sink b () in
+         let _ = conn b (sel, Out 0) (m, Sel) in
+         List.iteri
+           (fun j s -> ignore (conn b (s, Out 0) (m, In j)))
+           [ src_stream b [ 1 ]; src_stream b [ 2 ]; src_stream b [ 3 ] ];
+         let _ = conn b (m, Out 0) (k, In 0) in
+         let v = Verilog.to_string ~top:"m3" b.net in
+         Alcotest.(check bool) "2-bit controller select" true
+           (contains v "emux_ctrl #(.N(3), .SELW(2))");
+         Alcotest.(check bool) "select bus sliced to SELW bits" true
+           (contains v "_d[1:0])");
+         Alcotest.(check bool) "datapath compares the full select" true
+           (contains v "_d[1:0] == 2'd0) ?");
+         Alcotest.(check bool) "priority chain covers way 1" true
+           (contains v "_d[1:0] == 2'd1) ?");
+         Alcotest.(check bool) "no leftover FIXME" false (contains v "FIXME"));
+    Alcotest.test_case "2-way mux keeps the single-bit select form" `Quick
+      (fun () ->
+         let h = Figures.fig1a () in
+         let v = Verilog.to_string ~top:"t" h.Figures.net in
+         Alcotest.(check bool) "bit-0 ternary" true
+           (contains v "_d[0] ? "));
     Alcotest.test_case "save writes a file" `Quick (fun () ->
         let h = Figures.fig1a () in
         let path = Filename.temp_file "elastic" ".v" in

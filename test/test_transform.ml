@@ -55,7 +55,7 @@ let base_suite =
           (try
              ignore (Transform.insert_fifo net ~channel:c2 ~depth:0);
              false
-           with Invalid_argument _ -> true));
+           with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case "insert then remove buffer is the identity" `Quick
       (fun () ->
          let net, _, _, _, _, k, (_, c2, _, _) = fixture () in
@@ -70,7 +70,7 @@ let base_suite =
            (try
               ignore (Transform.remove_buffer net e);
               false
-            with Invalid_argument _ -> true));
+            with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case "convert_buffer keeps tokens, changes kind" `Quick
       (fun () ->
          let net, _, _, e, _, k, _ = fixture () in
@@ -90,7 +90,7 @@ let base_suite =
           (try
              ignore (Transform.convert_buffer b.net e Eb0);
              false
-           with Invalid_argument _ -> true));
+           with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case "retime_forward recomputes the moved token" `Quick
       (fun () ->
          (* Move the EB(100) token across G: the new output buffer must
@@ -112,7 +112,7 @@ let base_suite =
            (try
               ignore (Transform.retime_forward net ~through:f);
               false
-            with Invalid_argument _ -> true));
+            with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case "retime_backward moves an empty buffer" `Quick
       (fun () ->
          let net, _, _, _, g, k, _ = fixture () in
@@ -165,7 +165,7 @@ let base_suite =
           (try
              ignore (Transform.shannon b.net ~mux:m);
              false
-           with Invalid_argument _ -> true));
+           with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case "share rejects mismatched blocks" `Quick (fun () ->
         let b = builder () in
         let s0 = src_counter b () in
@@ -184,7 +184,7 @@ let base_suite =
                (Transform.share b.net ~blocks:[ f0; f1 ]
                   ~sched:Scheduler.Sticky);
              false
-           with Invalid_argument _ -> true));
+           with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case "share requires at least two blocks" `Quick
       (fun () ->
          let net, _, f, _, _, _, _ = fixture () in
@@ -193,7 +193,7 @@ let base_suite =
               ignore
                 (Transform.share net ~blocks:[ f ] ~sched:Scheduler.Sticky);
               false
-            with Invalid_argument _ -> true));
+            with Invalid_argument _ | Diagnostic.Reject _ -> true));
     Alcotest.test_case
       "full speculation recipe = shannon; early; share (structure)" `Quick
       (fun () ->
@@ -225,7 +225,7 @@ candidate" `Quick (fun () ->
           (try
              ignore (Speculation.speculate_auto net ~sched:Scheduler.Sticky);
              false
-           with Invalid_argument _ -> true)) ]
+           with Invalid_argument _ | Diagnostic.Reject _ -> true)) ]
 
 (* Two independent decision loops in one design: the recipe composes. *)
 let double_speculation =
