@@ -570,6 +570,150 @@ let e7_faults () =
   Fmt.pr "  -> flagged by the protocol monitors with provenance@."
 
 (* ------------------------------------------------------------------ *)
+(* E8: domain-count scaling of the E7 fault campaign under the          *)
+(* supervised runner (lib/runner).  The determinism contract — shards   *)
+(* merge in index order — means every worker count must reproduce the   *)
+(* 1-worker merged snapshot byte-for-byte; the scaling curve itself is  *)
+(* wall-clock and therefore only informative (the gate skips            *)
+(* [_seconds] keys).  The record is backend-independent so the same     *)
+(* baseline gates the OCaml 4.14 sequential fallback and the OCaml 5    *)
+(* domains backend.                                                     *)
+
+module Runner = Elastic_runner.Runner
+module Workload = Elastic_runner.Workload
+module Rcheckpoint = Elastic_runner.Checkpoint
+
+(* The PR-1 SECDED campaign of E7, as one runner task per scenario:
+   seeded single-bit upsets anywhere in the 144-bit operand payload of
+   the speculative resilient adder, severity alarm at >= 2. *)
+let secded_tasks ~count () =
+  let open Elastic_fault in
+  let ops = Examples.rs_ops ~error_rate_pct:0 ~seed:5 400 in
+  let d, alarm = Examples.rs_speculative_alarmed ~ops in
+  let net = d.Examples.d_net in
+  let alarms = [ (alarm, fun v -> Value.to_int v >= 2) ] in
+  let src = Option.get (Netlist.find_node net "src") in
+  let op_bus =
+    List.find
+      (fun (c : Netlist.channel) ->
+         c.Netlist.src.Netlist.ep_node = src.Netlist.id)
+      (Netlist.channels net)
+  in
+  let scenarios =
+    Campaign.random_bitflips ~net ~channel:op_bus.Netlist.ch_id ~seed:2009
+      ~count ~from_cycle:2 ~to_cycle:350 ~bit_hi:144 ()
+  in
+  Workload.of_campaign ~cycles:450 ~settle:60 ~alarms ~name:"secded" net
+    ~scenarios
+
+let no_sleep _ = ()
+
+(* ------------------------------------------------------------------ *)
+(* --chaos: the crash-recovery equivalence claim, end to end.  The      *)
+(* SECDED campaign runs under the runner with fault-injected workers    *)
+(* (first attempts of some shards are killed or time out — both         *)
+(* Transient, so supervision retries them), is killed mid-run via       *)
+(* [stop_after] with a checkpoint, and resumes from that checkpoint.    *)
+(* The resumed run's merged snapshot must be byte-identical to an       *)
+(* uninterrupted clean run, and a permanently-poisoned shard must fail  *)
+(* alone.  Artifacts: CHAOS_checkpoint.jsonl + CHAOS_report.json.       *)
+
+let chaos_mode ~quick () =
+  section "--chaos: supervised campaign under injected worker faults";
+  let count = if quick then 24 else 60 in
+  let tasks = secded_tasks ~count () in
+  let workers = max 2 (min 4 (Elastic_runner.Pool_backend.recommended ())) in
+  Fmt.pr "  backend: %s, %d workers, %d scenarios@."
+    (if Elastic_runner.Pool_backend.parallel then "domains"
+     else "sequential fallback")
+    workers count;
+  let base = Runner.run ~workers:1 ~sleep:no_sleep ~name:"chaos" tasks in
+  let want = Metr.Prometheus.render base.Runner.r_merged in
+  let chaotic =
+    List.mapi
+      (fun i (t : Runner.task) ->
+         { t with
+           Runner.work =
+             (fun ctx ->
+                if ctx.Runner.attempt = 1 && i mod 5 = 2 then
+                  raise (Runner.Killed "chaos: injected worker kill");
+                if ctx.Runner.attempt = 1 && i mod 7 = 3 then
+                  raise (Runner.Deadline_exceeded "chaos: injected timeout");
+                t.Runner.work ctx) })
+      tasks
+  in
+  let ckpt = "CHAOS_checkpoint.jsonl" in
+  (try Sys.remove ckpt with Sys_error _ -> ());
+  let command =
+    Fmt.str "bench --chaos%s" (if quick then " --quick" else "")
+  in
+  let killed =
+    Runner.run ~workers ~sleep:no_sleep ~checkpoint:ckpt ~command
+      ~stop_after:(count / 2) ~name:"chaos" chaotic
+  in
+  Fmt.pr "  interrupted: %d/%d shards checkpointed before the kill@."
+    killed.Runner.r_completed count;
+  let resume =
+    match Rcheckpoint.load ckpt with
+    | Ok c -> c
+    | Error m ->
+      Fmt.epr "chaos: cannot reload %s: %s@." ckpt m;
+      exit 1
+  in
+  let final =
+    Runner.run ~workers ~sleep:no_sleep ~checkpoint:ckpt ~resume ~command
+      ~name:"chaos" chaotic
+  in
+  Fmt.pr "@[<v>  %a@]@." Runner.pp_report final;
+  let identical = String.equal want (Metr.Prometheus.render final.Runner.r_merged) in
+  (* Crash isolation: poison one shard of a small slice with a
+     deterministic failure; only that shard may fail. *)
+  let poisoned =
+    List.filteri (fun i _ -> i < 6) tasks
+    |> List.mapi
+         (fun i (t : Runner.task) ->
+            if i = 1 then
+              { t with
+                Runner.work = (fun _ -> failwith "chaos: poisoned shard") }
+            else t)
+  in
+  let iso =
+    Runner.run ~workers ~sleep:no_sleep ~name:"chaos-isolation" poisoned
+  in
+  let isolated =
+    iso.Runner.r_failed = 1
+    && iso.Runner.r_completed = List.length poisoned - 1
+    && List.exists
+         (fun (s : Runner.shard) ->
+            match s.Runner.sh_status with
+            | Runner.Failed f -> f.Runner.f_class = Runner.Permanent
+            | _ -> false)
+         iso.Runner.r_shards
+  in
+  Json.write "CHAOS_report.json"
+    (Json.Obj
+       [ ("schema", Json.Str "elastic-speculation/chaos/v1");
+         ("scenarios", Json.Int count);
+         ("workers", Json.Int workers);
+         ("parallel_backend",
+          Json.Bool Elastic_runner.Pool_backend.parallel);
+         ("interrupted_completed", Json.Int killed.Runner.r_completed);
+         ("resumed", Json.Int final.Runner.r_resumed);
+         ("merged_identical", Json.Bool identical);
+         ("poisoned_shard_isolated", Json.Bool isolated);
+         ("report", Runner.report_json final) ]);
+  Fmt.pr "wrote CHAOS_report.json and %s@." ckpt;
+  if identical && isolated then
+    Fmt.pr
+      "@.bench --chaos: OK (merged metrics byte-identical after kill + \
+       resume; poisoned shard isolated)@."
+  else begin
+    Fmt.epr "@.bench --chaos: FAILED (merged_identical=%b isolated=%b)@."
+      identical isolated;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* A1: ablation — recovery-buffer backward latency (Sec. 4.1/4.3)       *)
 
 let a1_recovery () =
@@ -718,6 +862,51 @@ let record ~experiment ~title fields =
      :: ("mode", Json.Str !run_mode)
      :: fields)
 
+let json_e8 ~count () =
+  let tasks = secded_tasks ~count () in
+  let run_at w =
+    let t0 = Elastic_sim.Clock.monotonic () in
+    let r =
+      Runner.run ~workers:w ~sleep:no_sleep ~name:(Fmt.str "e8-w%d" w) tasks
+    in
+    let dt =
+      Elastic_sim.Clock.seconds_between t0 (Elastic_sim.Clock.monotonic ())
+    in
+    (w, r, dt)
+  in
+  let runs = List.map run_at [ 1; 2; 4; 8 ] in
+  let reference =
+    match runs with
+    | (_, r, _) :: _ -> Metr.Prometheus.render r.Runner.r_merged
+    | [] -> ""
+  in
+  let points =
+    List.map
+      (fun (w, r, dt) ->
+         Json.Obj
+           [ ("workers", Json.Int w);
+             ("shards", Json.Int (List.length r.Runner.r_shards));
+             ("completed", Json.Int r.Runner.r_completed);
+             ("failed", Json.Int r.Runner.r_failed);
+             ("merged_identical",
+              Json.Bool
+                (String.equal reference
+                   (Metr.Prometheus.render r.Runner.r_merged)));
+             ("elapsed_seconds", Json.Float dt) ])
+      runs
+  in
+  let classes =
+    match runs with
+    | (_, r, _) :: _ -> Workload.classification_histogram r.Runner.r_merged
+    | [] -> []
+  in
+  record ~experiment:"E8"
+    ~title:"domain-count scaling of the SECDED fault campaign"
+    [ ("scenarios", Json.Int count);
+      ("points", Json.List points);
+      ("classification",
+       Json.Obj (List.map (fun (l, c) -> (l, Json.Int c)) classes)) ]
+
 let json_e1 ~cycles () =
   let h = Figures.table1 () in
   let rows = Figures.table1_trace h in
@@ -857,12 +1046,18 @@ let json_e6 ~n ~pcts ?artifact () =
 (* Gate rules.  Any failure names the record, the metric path and the   *)
 (* delta, and the process exits 1.                                      *)
 
+(* Never raises: a vanished, unreadable or truncated baseline must fail
+   the gate with a message naming the file, not an exception trace. *)
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+         try Ok (really_input_string ic (in_channel_length ic)) with
+         | Sys_error m -> Error m
+         | End_of_file -> Error (path ^ ": truncated read"))
 
 let claim_checks fail path j =
   let experiment =
@@ -915,6 +1110,29 @@ let claim_checks fail path j =
                  (Fmt.str "points[%d].spec_first_delivery" i)
                  (Fmt.str "no latency removed (spec %d, nonspec %d)" s ns)
            | _ -> fail path (Fmt.str "points[%d]" i) "missing deliveries")
+        pts
+    | _ -> fail path "points" "missing"
+  end;
+  (* E8: the runner's determinism contract — every worker count of the
+     scaling curve completes all shards and reproduces the 1-worker
+     merged snapshot byte-for-byte. *)
+  if String.equal experiment "E8" then begin
+    match Json.member "points" j with
+    | Some (Json.List pts) ->
+      List.iteri
+        (fun i p ->
+           (match Json.member "merged_identical" p with
+            | Some (Json.Bool true) -> ()
+            | _ ->
+              fail path
+                (Fmt.str "points[%d].merged_identical" i)
+                "merged snapshot differs from the 1-worker run");
+           match (Json.member "completed" p, Json.member "shards" p) with
+           | Some (Json.Int c), Some (Json.Int s) when c = s -> ()
+           | _ ->
+             fail path
+               (Fmt.str "points[%d].completed" i)
+               "campaign did not complete every shard")
         pts
     | _ -> fail path "points" "missing"
   end;
@@ -974,7 +1192,7 @@ let check_mode ~dir files =
        if not (Sys.file_exists bpath) then
          fail path "(record)" (Fmt.str "no baseline at %s" bpath)
        else
-         match Json.parse (read_file bpath) with
+         match Result.bind (read_file bpath) Json.parse with
          | Error m ->
            fail path "(record)" (Fmt.str "unreadable baseline %s: %s" bpath m)
          | Ok baseline ->
@@ -1004,7 +1222,8 @@ let json_mode ~quick ~trace () =
       ("BENCH_E5.json",
        json_e5 ~n ~pcts:e5_pcts ?artifact:(artifact "TRACE_E5") ());
       ("BENCH_E6.json",
-       json_e6 ~n ~pcts:e6_pcts ?artifact:(artifact "TRACE_E6") ()) ]
+       json_e6 ~n ~pcts:e6_pcts ?artifact:(artifact "TRACE_E6") ());
+      ("BENCH_E8.json", json_e8 ~count:(if quick then 24 else 96) ()) ]
   in
   List.iter
     (fun (path, j) ->
@@ -1030,6 +1249,7 @@ let () =
   let quick = List.mem "--quick" args in
   let trace = List.mem "--trace" args in
   let check = List.mem "--check" args in
+  let chaos = List.mem "--chaos" args in
   let baselines =
     let rec find = function
       | "--baselines" :: dir :: _ -> dir
@@ -1038,7 +1258,8 @@ let () =
     in
     find args
   in
-  if json || check then begin
+  if chaos then chaos_mode ~quick ()
+  else if json || check then begin
     let files = json_mode ~quick ~trace () in
     if check then check_mode ~dir:baselines files
   end

@@ -13,11 +13,17 @@ type session = {
   mutable tracer : Elastic_trace.Tracer.t option;
       (* Tracer of the most recent traced simulation command, kept for
          [trace dump] and for enriching simulation-error reports. *)
+  mutable on_error_continue : bool;
+      (* Script mode: keep executing after a failing line. *)
+  mutable pending_resume : Elastic_runner.Checkpoint.t option;
+      (* Set by [runner resume] for the campaign command it re-executes;
+         consumed by the next [campaign --par] run. *)
 }
 
 let create () =
   { net = None; design = "netlist"; undo = []; redo = [];
-    trace_capacity = None; tracer = None }
+    trace_capacity = None; tracer = None; on_error_continue = false;
+    pending_resume = None }
 
 let current s = s.net
 
@@ -96,6 +102,19 @@ let help =
   campaign storm <n> <seed> [cycles]       flips spread over all channels
                            (sinks named "alarm" act as error detectors:
                            a value >= 2 counts as detection)
+  campaign ... --par <n> [--checkpoint <file>]
+                           shard the campaign over n workers under the
+                           supervised runner: crashing shards are
+                           isolated with provenance, transient failures
+                           retry with seeded backoff, completed shards
+                           checkpoint to <file> for resume
+  runner status <file>     completeness of a campaign checkpoint
+  runner resume <file>     re-run the campaign command stored in the
+                           checkpoint, adopting completed shards instead
+                           of recomputing them
+  on-error continue|abort  script mode: report failing lines (with their
+                           line numbers) and keep going, or stop at the
+                           first error (the default)
   dot <file>               export Graphviz
   verilog <file>           export the elastic controller as Verilog
   blif <file>              export the control network for SIS/ABC
@@ -113,8 +132,8 @@ let commands =
     "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
     "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch";
     "cycletime"; "area"; "bound"; "critical"; "verify"; "lint"; "inject";
-    "campaign"; "dot"; "verilog"; "blif"; "smv"; "undo"; "redo"; "help";
-    "quit"; "exit" ]
+    "campaign"; "runner"; "on-error"; "dot"; "verilog"; "blif"; "smv";
+    "undo"; "redo"; "help"; "quit"; "exit" ]
 
 let designs =
   [ ("fig1a", fun () -> (Figures.fig1a ()).Figures.net);
@@ -442,15 +461,72 @@ let campaign_summary net summary =
   String.concat "\n"
     ((Fmt.str "%a" Campaign.pp_summary summary :: detail) @ more)
 
-let campaign_cmd net kind rest =
+let campaign_usage =
+  "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
+   storm <count> <seed> [cycles] — append --par <workers> \
+   [--checkpoint <file>] to shard under the supervised runner"
+
+(* Split "campaign flips a 20 7 --par 4 --checkpoint f" into the
+   positional arguments and the runner options. *)
+let campaign_options rest =
+  let ( let* ) = Result.bind in
+  let rec split pos = function
+    | [] -> Ok (List.rev pos, None, None)
+    | "--par" :: n :: tail ->
+      let* par = int_arg "--par" n in
+      if par < 1 then Error "--par must be >= 1"
+      else
+        let* ckpt =
+          match tail with
+          | [] -> Ok None
+          | [ "--checkpoint"; f ] -> Ok (Some f)
+          | _ -> Error campaign_usage
+        in
+        Ok (List.rev pos, Some par, ckpt)
+    | ("--par" | "--checkpoint") :: _ -> Error campaign_usage
+    | w :: tail -> split (w :: pos) tail
+  in
+  split [] rest
+
+(* A sharded campaign under the supervised runner: one task per
+   scenario, merged in shard-index order (so the histogram is identical
+   to the sequential campaign's at any worker count), with a
+   completeness report instead of a silent partial answer. *)
+let campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios =
+  let module Runner = Elastic_runner.Runner in
+  let module Workload = Elastic_runner.Workload in
+  let name = Fmt.str "campaign-%s" kind in
+  let command = String.concat " " ("campaign" :: kind :: rest) in
+  let resume = s.pending_resume in
+  s.pending_resume <- None;
+  let tasks =
+    Workload.of_campaign ~cycles ~settle:60 ~alarms:(alarms_of net) ~name
+      net ~scenarios
+  in
+  let r =
+    Runner.run ~workers:par ?checkpoint:ckpt ?resume ~command ~name tasks
+  in
+  let histogram = Workload.classification_histogram r.Runner.r_merged in
+  let hist_lines =
+    List.map (fun (label, n) -> Fmt.str "  %-20s %d" label n) histogram
+  in
+  let body =
+    (Fmt.str "@[<v>%a@]" Runner.pp_report r :: "classification histogram:"
+     :: hist_lines)
+    @
+    match ckpt with
+    | Some f -> [ Fmt.str "checkpoint: %s" f ]
+    | None -> []
+  in
+  Ok (String.concat "\n" body)
+
+let campaign_cmd s net kind rest =
   let open Elastic_fault in
   let ( let* ) = Result.bind in
-  let usage =
-    "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
-     storm <count> <seed> [cycles]"
-  in
+  let usage = campaign_usage in
+  let* positional, par, ckpt = campaign_options rest in
   let* scenarios, cycles =
-    match kind, rest with
+    match kind, positional with
     | "flips", (ch :: cnt :: seed :: tail) when List.length tail <= 1 ->
       let* channel = channel_arg net ch in
       let* count = int_arg "count" cnt in
@@ -474,12 +550,19 @@ let campaign_cmd net kind rest =
          cycles)
     | _ -> Error usage
   in
-  let summary =
-    Campaign.run ~cycles ~settle:60 ~alarms:(alarms_of net) net ~scenarios
-  in
-  Ok (campaign_summary net summary)
+  match par with
+  | Some par ->
+    campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios
+  | None when ckpt <> None ->
+    Error "--checkpoint requires --par (the supervised runner)"
+  | None ->
+    let summary =
+      Campaign.run ~cycles ~settle:60 ~alarms:(alarms_of net) net
+        ~scenarios
+    in
+    Ok (campaign_summary net summary)
 
-let execute_cmd s line =
+let rec execute_cmd s line =
   let words =
     String.split_on_char ' ' (String.trim line)
     |> List.filter (fun w -> w <> "")
@@ -1084,11 +1167,37 @@ let execute_cmd s line =
     with_net s (fun net -> inject_cmd net target kind rest)
   | [ "inject" ] | [ "inject"; _ ] -> Error inject_usage
   | "campaign" :: kind :: rest ->
-    with_net s (fun net -> campaign_cmd net kind rest)
-  | [ "campaign" ] ->
-    Error
-      "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
-       storm <count> <seed> [cycles]"
+    with_net s (fun net -> campaign_cmd s net kind rest)
+  | [ "campaign" ] -> Error campaign_usage
+  | [ "runner"; "status"; file ] -> (
+      match Elastic_runner.Checkpoint.load file with
+      | Ok cp -> Ok (Fmt.str "%a" Elastic_runner.Checkpoint.pp_status cp)
+      | Error m -> Error (Fmt.str "%s: %s" file m))
+  | [ "runner"; "resume"; file ] -> (
+      match Elastic_runner.Checkpoint.load file with
+      | Error m -> Error (Fmt.str "%s: %s" file m)
+      | Ok cp -> (
+          match cp.Elastic_runner.Checkpoint.header.command with
+          | None ->
+            Error
+              (Fmt.str
+                 "%s records no command to resume (it was written by an \
+                  embedding, not the shell)"
+                 file)
+          | Some cmd ->
+            s.pending_resume <- Some cp;
+            Fun.protect
+              ~finally:(fun () -> s.pending_resume <- None)
+              (fun () -> execute_cmd s cmd)))
+  | "runner" :: _ ->
+    Error "usage: runner status <checkpoint> | runner resume <checkpoint>"
+  | [ "on-error"; "continue" ] ->
+    s.on_error_continue <- true;
+    Ok "scripts now continue past failing lines (reported per line)"
+  | [ "on-error"; "abort" ] ->
+    s.on_error_continue <- false;
+    Ok "scripts now stop at the first failing line"
+  | "on-error" :: _ -> Error "usage: on-error continue|abort"
   | [ "quit" ] | [ "exit" ] -> Ok "bye"
   | w :: _ when List.mem w commands ->
     (* a known command that fell through its argument patterns *)
@@ -1156,6 +1265,12 @@ let run_script s lines =
         match execute s line with
         | Ok out ->
           go (if out = "" then acc else out :: acc) (lineno + 1) rest
+        | Error m when s.on_error_continue ->
+          (* Same line-number provenance as abort mode, but the script
+             keeps going and the failure becomes part of the output. *)
+          go
+            (Fmt.str "error: line %d: %S: %s" lineno line m :: acc)
+            (lineno + 1) rest
         | Error m -> Error (Fmt.str "line %d: %S: %s" lineno line m))
   in
   go [] 1 lines

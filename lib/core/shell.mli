@@ -20,8 +20,12 @@ val create : unit -> session
     rendered into the [Error] message. *)
 val execute : session -> string -> (string, string) result
 
-(** Run a whole script, stopping at the first error; the error message is
-    prefixed with the 1-based line number of the offending command. *)
+(** Run a whole script.  By default it stops at the first error, with
+    the error message prefixed by the 1-based line number of the
+    offending command.  After an [on-error continue] directive in the
+    script, failing lines are instead reported inline in the output
+    (with the same line-number provenance, prefixed ["error:"]) and
+    execution continues; [on-error abort] restores the default. *)
 val run_script : session -> string list -> (string list, string) result
 
 (** The current design (for tests and embedding). *)

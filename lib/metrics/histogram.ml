@@ -151,6 +151,69 @@ let s_buckets s =
   done;
   List.rev !acc
 
+(* Exact snapshot serialization for the runner's checkpoint files: the
+   sparse bucket list plus the scalar fields reproduce the snapshot
+   bit-for-bit (the empty sentinels min=max_int / max=-1 are carried by
+   returning [empty] for a zero count), so a merged snapshot rebuilt
+   from a checkpoint renders byte-identically. *)
+let s_to_json s =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if s.s_counts.(i) > 0 then
+      buckets :=
+        Json.List [ Json.Int i; Json.Int s.s_counts.(i) ] :: !buckets
+  done;
+  Json.Obj
+    [ ("count", Json.Int s.sn_count);
+      ("sum", Json.Int s.sn_sum);
+      ("min", Json.Int (if s.sn_count = 0 then 0 else s.sn_min));
+      ("max", Json.Int (if s.sn_count = 0 then 0 else s.sn_max));
+      ("buckets", Json.List !buckets) ]
+
+let s_of_json j =
+  let ( let* ) = Result.bind in
+  let int_field name =
+    match Json.member name j with
+    | Some (Json.Int i) -> Ok i
+    | Some _ -> Error (Fmt.str "histogram field %S is not an int" name)
+    | None -> Error (Fmt.str "histogram field %S missing" name)
+  in
+  let* count = int_field "count" in
+  if count = 0 then Ok empty
+  else
+    let* sum = int_field "sum" in
+    let* mn = int_field "min" in
+    let* mx = int_field "max" in
+    let* counts =
+      match Json.member "buckets" j with
+      | Some (Json.List items) ->
+        let counts = Array.make n_buckets 0 in
+        let rec fill = function
+          | [] -> Ok counts
+          | Json.List [ Json.Int i; Json.Int c ] :: rest ->
+            if i < 0 || i >= n_buckets then
+              Error (Fmt.str "histogram bucket index %d out of range" i)
+            else if c < 0 then
+              Error (Fmt.str "negative histogram bucket count %d" c)
+            else begin
+              counts.(i) <- c;
+              fill rest
+            end
+          | _ -> Error "histogram bucket is not an [index, count] pair"
+        in
+        fill items
+      | Some _ -> Error "histogram field \"buckets\" is not a list"
+      | None -> Error "histogram field \"buckets\" missing"
+    in
+    let total = Array.fold_left ( + ) 0 counts in
+    if total <> count then
+      Error
+        (Fmt.str "histogram bucket counts sum to %d, count says %d" total
+           count)
+    else
+      Ok { s_counts = counts; sn_count = count; sn_sum = sum; sn_min = mn;
+           sn_max = mx }
+
 let pp ppf t =
   if t.count = 0 then Fmt.pf ppf "empty"
   else

@@ -73,4 +73,14 @@ val s_quantile : snapshot -> float -> int
     the implicit [+Inf] bucket from {!s_count}. *)
 val s_buckets : snapshot -> (int * int) list
 
+(** Exact JSON image of a snapshot (sparse bucket list), used by the
+    runner's checkpoint files; {!s_of_json} inverts it bit-for-bit, so
+    snapshots survive a checkpoint/resume round trip with semantic
+    equality ([=]) intact. *)
+val s_to_json : snapshot -> Json.t
+
+(** Rejects malformed input (bad bucket indices, counts that do not sum
+    to [count]) with a message instead of producing a corrupt state. *)
+val s_of_json : Json.t -> (snapshot, string) result
+
 val pp : Format.formatter -> t -> unit

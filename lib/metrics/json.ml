@@ -97,6 +97,12 @@ let to_string ?(indent = 0) t =
 
 exception Parse_error of string
 
+(* Corrupt input (a truncated checkpoint, a garbage baseline) must come
+   back as [Error] with a byte position, never as an exception — and
+   never as a [Stack_overflow], hence the nesting cap: our own emitters
+   produce depth <= 6, so 1000 is pure paranoia headroom. *)
+let max_depth = 1000
+
 let parse s =
   let n = String.length s in
   let pos = ref 0 in
@@ -198,7 +204,8 @@ let parse s =
           | Some f -> Float f
           | None -> fail (Fmt.str "invalid number %S" text))
   in
-  let rec parse_value () =
+  let rec parse_value ~depth () =
+    if depth > max_depth then fail "nesting deeper than 1000 levels";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -214,11 +221,11 @@ let parse s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value ~depth:(depth + 1) () ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value ~depth:(depth + 1) () :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -237,7 +244,7 @@ let parse s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value ~depth:(depth + 1) () in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -253,11 +260,16 @@ let parse s =
     | Some _ -> parse_number ()
   in
   try
-    let v = parse_value () in
+    let v = parse_value ~depth:0 () in
     skip_ws ();
     if !pos <> n then Error (Fmt.str "trailing content at offset %d" !pos)
     else Ok v
-  with Parse_error msg -> Error msg
+  with
+  | Parse_error msg -> Error msg
+  | Failure msg | Invalid_argument msg ->
+    (* Integrity backstop: no path above is expected to raise, but a
+       parser must never let corrupt input escape as an exception. *)
+    Error (Fmt.str "at offset %d: %s" !pos msg)
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields

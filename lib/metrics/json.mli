@@ -20,7 +20,11 @@ type t =
 val to_string : ?indent:int -> t -> string
 
 (** Parse a complete JSON document (trailing whitespace allowed).
-    Numbers without [.], [e] or [E] parse as [Int]. *)
+    Numbers without [.], [e] or [E] parse as [Int].  Never raises:
+    truncated or corrupt input — including pathological nesting —
+    returns [Error] naming the byte offset of the failure, so consumers
+    (the bench gate, the runner's checkpoint loader) can render a clear
+    message instead of dying on an exception. *)
 val parse : string -> (t, string) result
 
 (** [member key j] — field of an object, [None] otherwise. *)

@@ -165,6 +165,95 @@ let merge left right =
   in
   merged @ right_only
 
+(* Checkpoint serialization.  Gauges carry the exact bit pattern in a
+   hex-float field alongside the human-readable decimal (the shared
+   emitter prints floats at 6 significant digits, which would break the
+   byte-identical resume guarantee); counters and histograms are exact
+   by construction. *)
+let sample_to_json s =
+  let labels =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.m_labels)
+  in
+  let value_fields =
+    match s.m_value with
+    | Counter c -> [ ("kind", Json.Str "counter"); ("value", Json.Int c) ]
+    | Gauge g ->
+      [ ("kind", Json.Str "gauge");
+        ("value", Json.Float g);
+        ("value_hex", Json.Str (Printf.sprintf "%h" g)) ]
+    | Histogram h ->
+      [ ("kind", Json.Str "histogram"); ("value", Histogram.s_to_json h) ]
+  in
+  Json.Obj
+    (("name", Json.Str s.m_name)
+     :: ("help", Json.Str s.m_help)
+     :: ("labels", labels)
+     :: value_fields)
+
+let sample_of_json j =
+  let ( let* ) = Result.bind in
+  let str_field name =
+    match Json.member name j with
+    | Some (Json.Str s) -> Ok s
+    | Some _ -> Error (Fmt.str "sample field %S is not a string" name)
+    | None -> Error (Fmt.str "sample field %S missing" name)
+  in
+  let* name = str_field "name" in
+  if not (valid_name name) then
+    Error (Fmt.str "invalid metric name %S" name)
+  else
+    let* help = str_field "help" in
+    let* labels =
+      match Json.member "labels" j with
+      | Some (Json.Obj fields) ->
+        let rec conv acc = function
+          | [] -> Ok (List.rev acc)
+          | (k, Json.Str v) :: rest -> conv ((k, v) :: acc) rest
+          | (k, _) :: _ -> Error (Fmt.str "label %S is not a string" k)
+        in
+        conv [] fields
+      | Some _ -> Error "sample field \"labels\" is not an object"
+      | None -> Error "sample field \"labels\" missing"
+    in
+    let* value =
+      match str_field "kind", Json.member "value" j with
+      | Error e, _ -> Error e
+      | Ok "counter", Some (Json.Int c) ->
+        if c < 0 then Error (Fmt.str "negative counter value %d" c)
+        else Ok (Counter c)
+      | Ok "gauge", Some v -> (
+          match Json.member "value_hex" j with
+          | Some (Json.Str hex) -> (
+              match float_of_string_opt hex with
+              | Some g -> Ok (Gauge g)
+              | None -> Error (Fmt.str "bad gauge hex image %S" hex))
+          | Some _ -> Error "gauge field \"value_hex\" is not a string"
+          | None -> (
+              match Json.to_float v with
+              | Some g -> Ok (Gauge g)
+              | None -> Error "gauge value is not numeric"))
+      | Ok "histogram", Some v ->
+        Result.map (fun h -> Histogram h) (Histogram.s_of_json v)
+      | Ok kind, Some _ -> Error (Fmt.str "unknown sample kind %S" kind)
+      | Ok _, None -> Error "sample field \"value\" missing"
+    in
+    Ok { m_name = name; m_help = help;
+         m_labels = normalize_labels labels; m_value = value }
+
+let samples_to_json samples = Json.List (List.map sample_to_json samples)
+
+let samples_of_json = function
+  | Json.List items ->
+    let rec go acc i = function
+      | [] -> Ok (List.rev acc)
+      | j :: rest -> (
+          match sample_of_json j with
+          | Ok s -> go (s :: acc) (i + 1) rest
+          | Error e -> Error (Fmt.str "sample %d: %s" i e))
+    in
+    go [] 0 items
+  | _ -> Error "samples image is not a list"
+
 let find ?(labels = []) samples name =
   let labels = normalize_labels labels in
   List.find_opt

@@ -80,5 +80,25 @@ val merge : sample list -> sample list -> sample list
 val find :
   ?labels:(string * string) list -> sample list -> string -> value option
 
+(** {1 Checkpoint serialization}
+
+    Exact JSON images of samples, used by the runner's checkpoint files.
+    Counters and histogram snapshots round-trip bit-for-bit by
+    construction; gauges carry the exact bit pattern in a hex-float
+    side-channel (the shared emitter prints decimals at 6 significant
+    digits, which would silently perturb resumed values).  A snapshot
+    rebuilt through [samples_of_json] is structurally equal ([=]) to the
+    original, so merged results after a resume stay byte-identical. *)
+
+val sample_to_json : sample -> Json.t
+
+val sample_of_json : Json.t -> (sample, string) result
+
+val samples_to_json : sample list -> Json.t
+
+(** Rejects malformed input with a message naming the offending sample
+    index instead of raising. *)
+val samples_of_json : Json.t -> (sample list, string) result
+
 (** [valid_name s] — exposed for exporters and tests. *)
 val valid_name : string -> bool

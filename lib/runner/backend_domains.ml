@@ -1,0 +1,32 @@
+(* Domains backend (OCaml >= 5.0).  Copied to pool_backend.ml by the
+   dune rule when the compiler supports it; see pool_backend.mli for the
+   contract.  Workers 1..n-1 get their own domain, the calling thread
+   doubles as worker 0 so [n = 1] spawns nothing. *)
+
+let parallel = true
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+type lock = Mutex.t
+
+let create_lock () = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+let run_workers n body =
+  if n <= 1 then body 0
+  else begin
+    let spawned =
+      List.init (n - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+    in
+    body 0;
+    List.iter Domain.join spawned
+  end

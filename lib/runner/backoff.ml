@@ -1,0 +1,35 @@
+open Elastic_sim
+
+type policy = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter_pct : int;
+}
+
+let v ~base ~factor ~max_delay ~jitter_pct =
+  if base <= 0.0 then invalid_arg "Backoff.v: base must be positive";
+  if factor <= 0.0 then invalid_arg "Backoff.v: factor must be positive";
+  if max_delay < 0.0 then invalid_arg "Backoff.v: negative max_delay";
+  if jitter_pct < 0 || jitter_pct > 100 then
+    invalid_arg "Backoff.v: jitter_pct outside [0, 100]";
+  { base; factor; max_delay; jitter_pct }
+
+let default = v ~base:0.05 ~factor:2.0 ~max_delay:2.0 ~jitter_pct:25
+
+let delay p ~rng ~attempt =
+  let attempt = if attempt < 1 then 1 else attempt in
+  let d = p.base *. (p.factor ** float_of_int (attempt - 1)) in
+  let d = if d > p.max_delay then p.max_delay else d in
+  (* One draw always, so the rng stream stays aligned across replays
+     even when jitter is disabled. *)
+  let draw = Rng.int rng (2001 * (p.jitter_pct + 1)) in
+  if p.jitter_pct = 0 then d
+  else begin
+    (* Uniform in [-jitter_pct, +jitter_pct] percent, millipercent
+       granularity. *)
+    let span = 2000 * p.jitter_pct in
+    let off = (draw mod (span + 1)) - (1000 * p.jitter_pct) in
+    let jittered = d *. (1.0 +. (float_of_int off /. 100_000.0)) in
+    if jittered < 0.0 then 0.0 else jittered
+  end

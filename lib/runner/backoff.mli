@@ -1,0 +1,27 @@
+(** Seeded exponential backoff for shard retries.
+
+    Delays are a pure function of (policy, rng state, attempt), so a
+    campaign replayed with the same seed retries on exactly the same
+    schedule — a property the crash-recovery equivalence suite leans
+    on.  Jitter is drawn from the runner's {!Elastic_sim.Rng}, never
+    from the global [Random] state. *)
+
+type policy = {
+  base : float;  (** seconds before the first retry *)
+  factor : float;  (** multiplier per further attempt *)
+  max_delay : float;  (** cap on the undithered delay, seconds *)
+  jitter_pct : int;  (** dither amplitude, +-percent of the delay *)
+}
+
+(** 50 ms doubling up to 2 s, +-25% jitter. *)
+val default : policy
+
+(** @raise Invalid_argument on non-positive [base]/[factor], negative
+    [max_delay], or [jitter_pct] outside [0, 100]. *)
+val v :
+  base:float -> factor:float -> max_delay:float -> jitter_pct:int -> policy
+
+(** [delay policy ~rng ~attempt] — seconds to wait before retry number
+    [attempt] (1-based: [attempt = 1] is the first retry).  Always
+    non-negative; consumes exactly one draw from [rng]. *)
+val delay : policy -> rng:Elastic_sim.Rng.t -> attempt:int -> float

@@ -1,0 +1,28 @@
+(** Execution backend for the campaign runner, selected at build time.
+
+    On OCaml >= 5.0 this is [backend_domains.ml] (one {!run_workers}
+    body per domain, real mutexes); on 4.14 it is [backend_seq.ml]
+    (workers run one after another in-process, locks are no-ops).  The
+    runner is written against this signature only, so the same campaign
+    code builds and produces identical merged results on both. *)
+
+(** Whether workers actually run concurrently. *)
+val parallel : bool
+
+(** A sensible default worker count for this machine (1 when
+    [parallel] is false). *)
+val recommended : unit -> int
+
+type lock
+
+val create_lock : unit -> lock
+
+(** Run [f] with the lock held; always releases, re-raises [f]'s
+    exception. *)
+val with_lock : lock -> (unit -> 'a) -> 'a
+
+(** [run_workers n body] runs [body 0] .. [body (n-1)] to completion.
+    Concurrently on the domains backend (caller's thread doubles as
+    worker 0), sequentially in index order on the fallback.  [body]
+    must not raise — worker loops catch everything internally. *)
+val run_workers : int -> (int -> unit) -> unit

@@ -1,0 +1,46 @@
+open Elastic_fault
+module Metrics = Elastic_metrics.Metrics
+module Sampler = Elastic_metrics.Sampler
+
+let of_campaign ?cycles ?settle ?alarms ~name net ~scenarios =
+  List.mapi
+    (fun i faults ->
+       { Runner.id = Fmt.str "%s/%04d" name i;
+         work =
+           (fun (ctx : Runner.ctx) ->
+              ctx.check_deadline ();
+              let report = Recovery.check ?cycles ?settle ?alarms net ~faults in
+              let reg = Metrics.create () in
+              Metrics.Counter.inc
+                (Metrics.counter reg
+                   ~help:"fault scenarios checked"
+                   "elastic_fault_scenarios_total");
+              Metrics.Counter.add
+                (Metrics.counter reg
+                   ~help:"faults injected across scenarios"
+                   "elastic_fault_injections_total")
+                (List.length faults);
+              Sampler.note_recovery reg report.Recovery.classification;
+              (match report.Recovery.classification with
+               | Recovery.Corrected penalty ->
+                 Elastic_metrics.Histogram.observe
+                   (Metrics.histogram reg
+                      ~help:"extra delay of corrected scenarios, cycles"
+                      "elastic_fault_recovery_penalty_cycles")
+                   penalty
+               | Recovery.Masked | Recovery.Detected _
+               | Recovery.Silent_corruption _ | Recovery.Deadlock _
+               | Recovery.Crashed _ -> ());
+              Metrics.snapshot reg) })
+    scenarios
+
+let classification_histogram samples =
+  List.filter_map
+    (fun (s : Metrics.sample) ->
+       if String.equal s.m_name "elastic_fault_recovery_total" then
+         match s.m_labels, s.m_value with
+         | [ ("class", label) ], Metrics.Counter c -> Some (label, c)
+         | _, _ -> None
+       else None)
+    samples
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

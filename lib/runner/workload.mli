@@ -1,0 +1,35 @@
+(** Campaign-to-task adapters for the {!Runner}.
+
+    {!Elastic_fault.Campaign.run} checks scenarios one after another in
+    one process; [of_campaign] turns the same scenario list into one
+    {!Runner.task} per scenario so the runner can shard it.  Each task
+    runs {!Elastic_fault.Recovery.check} against the shared (immutable)
+    netlist and returns a fresh registry snapshot — counters for
+    scenarios, injections and per-class recovery outcomes, plus a
+    correction-penalty histogram — so the runner's index-order merge
+    reproduces the sequential campaign's histogram exactly, at any
+    worker count. *)
+
+(** [of_campaign ~name net ~scenarios] — task ids are
+    ["<name>/<index>"] (stable across runs: the checkpoint resume key).
+    [cycles], [settle] and [alarms] are passed through to
+    [Recovery.check].  The task body calls [ctx.check_deadline] before
+    each check, so shard/campaign wall-clock budgets land between
+    simulations, never mid-cycle. *)
+val of_campaign :
+  ?cycles:int ->
+  ?settle:int ->
+  ?alarms:
+    (Elastic_netlist.Netlist.node_id * (Elastic_kernel.Value.t -> bool))
+      list ->
+  name:string ->
+  Elastic_netlist.Netlist.t ->
+  scenarios:Elastic_fault.Fault.t list list ->
+  Runner.task list
+
+(** Rebuild a {!Elastic_fault.Campaign.summary}-style histogram
+    (classification label -> count, sorted by label) from merged runner
+    samples — the equivalence suite compares this against the
+    sequential campaign's histogram. *)
+val classification_histogram :
+  Elastic_metrics.Metrics.sample list -> (string * int) list

@@ -52,6 +52,7 @@ type t = {
   schedule : Schedule.t;
   profile : Profile.t;
   max_passes : int;
+  max_cycles : int option;
   cycle_evals : int array;  (* per-node eval calls within this cycle *)
   dirty : bool array;  (* scratch for local SCC iteration *)
   mutable cycle : int;
@@ -81,7 +82,10 @@ let dense_index t cid =
     fail ~cycle:t.cycle ~channel:cid (Fmt.str "unknown channel id %d" cid)
 
 let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
-    ?max_passes ?(clock = Clock.monotonic) net =
+    ?max_passes ?max_cycles ?(clock = Clock.monotonic) net =
+  (match max_cycles with
+   | Some n when n < 0 -> invalid_arg "Engine.create: negative max_cycles"
+   | Some _ | None -> ());
   (match Netlist.diagnostics net with
    | [] -> ()
    | d :: _ as ds ->
@@ -174,6 +178,7 @@ let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
     schedule = Schedule.build net;
     profile = Profile.create ~n_nodes:(Array.length compiled);
     max_passes = Option.value max_passes ~default:default_max_passes;
+    max_cycles;
     cycle_evals = Array.make (max (Array.length compiled) 1) 0;
     dirty = Array.make (max (Array.length compiled) 1) false;
     cycle = 0;
@@ -233,7 +238,9 @@ let eval_node t i =
          (Printexc.to_string e))
 
 (* Name the channels whose wires changed during the final pass — the
-   diff of the last two passes is exactly the non-converging set. *)
+   diff of the last two passes is exactly the non-converging set.
+   "E110" is the settle/cycle-budget timeout code (see check_determined
+   for the E102 convention on quoting lint codes here). *)
 let non_convergence_error t ~passes =
   let changing = List.sort_uniq compare (Wires.written t.ws) in
   let names =
@@ -248,7 +255,7 @@ let non_convergence_error t ~passes =
   in
   raise
     (Simulation_error
-       (error ?node ?channel ~cycle:t.cycle
+       (error ~code:"E110" ?node ?channel ~cycle:t.cycle
           (Fmt.str
              "combinational evaluation did not converge after %d passes; \
               channels still changing between the last two passes: %s"
@@ -378,7 +385,22 @@ let install_overrides t =
          | None -> ())
       t.chans
 
+(* The cycle-budget watchdog: a task that keeps stepping a pathological
+   netlist (runaway replay storm, non-draining workload) hits a typed
+   E110 timeout instead of hanging its worker forever.  Checked before
+   the cycle runs, so an engine created with [max_cycles:n] simulates
+   exactly [n] cycles and the error is raised by step [n+1]. *)
+let check_cycle_budget t =
+  match t.max_cycles with
+  | Some budget when t.cycle >= budget ->
+    fail ~code:"E110" ~cycle:t.cycle
+      (Fmt.str
+         "cycle budget exhausted: %d cycles simulated (max_cycles %d)"
+         t.cycle budget)
+  | Some _ | None -> ()
+
 let step ?(choices = fun _ -> None) t =
+  check_cycle_budget t;
   Wires.reset t.ws;
   t.injected_rev <- [];
   install_overrides t;

@@ -26,10 +26,14 @@ type error = {
   err_node : Netlist.node_id option;
   err_channel : Netlist.channel_id option;
   err_code : string option;
-      (** Lint rule code when the failure has a known static cause: the
+      (** Lint rule code when the failure has a known static cause — the
           structural code (E001-E004) that made [create] refuse the
           netlist, or ["E102"] when the combinational phase found an
-          unbroken cycle at runtime. *)
+          unbroken cycle at runtime — or the runtime diagnostic code
+          ["E110"] when a budget watchdog fired: the settle loop
+          exceeded its pass budget without converging, or the engine's
+          cycle budget ([max_cycles]) was exhausted.  Campaign runners
+          key retry/permanent-failure classification on this code. *)
   err_msg : string;
 }
 
@@ -65,15 +69,20 @@ type eval_mode = Levelized | Reference
     @param liveness_bound watchdog threshold in cycles (default [64]).
     @param mode combinational evaluation strategy (default [Levelized]).
     @param max_passes cap on global fixpoint passes in [Reference] mode
-    before {!step} raises the non-convergence error naming the channels
-    that were still changing (default [5 * channels + 16], which monotone
-    evaluation can never exceed).
+    before {!step} raises the non-convergence error (code ["E110"])
+    naming the channels that were still changing (default
+    [5 * channels + 16], which monotone evaluation can never exceed).
+    @param max_cycles hard cycle budget: {!step} beyond it raises a
+    typed ["E110"] timeout instead of letting a pathological workload
+    (runaway replay storm, non-draining settle loop) hang the caller
+    forever.  Default: unlimited.
+    @raise Invalid_argument on a negative [max_cycles].
     @param clock time source for settle-phase wall-clock profiling
     (default {!Clock.monotonic}); inject {!Clock.ticker} in tests for
     deterministic timings. *)
 val create :
   ?monitor:bool -> ?liveness_bound:int -> ?mode:eval_mode ->
-  ?max_passes:int -> ?clock:Clock.t -> Netlist.t -> t
+  ?max_passes:int -> ?max_cycles:int -> ?clock:Clock.t -> Netlist.t -> t
 
 val netlist : t -> Netlist.t
 

@@ -24,4 +24,5 @@ let () =
       ("serial", Test_serial.suite);
       ("metrics", Test_metrics.suite);
       ("blif.cosim", Test_blif_cosim.suite);
-      ("lint", Test_lint.suite) ]
+      ("lint", Test_lint.suite);
+      ("runner", Test_runner.suite) ]

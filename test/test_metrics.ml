@@ -210,6 +210,148 @@ let test_json_roundtrip () =
   Alcotest.(check bool) "exponents parse as floats" true
     (Json.parse "1e2" = Ok (Json.Float 100.0))
 
+(* Random float-free trees round-trip exactly (float emission is 6
+   significant digits by design — exact float transport goes through
+   the hex side-channel of [Metrics.sample_to_json]). *)
+let json_gen =
+  let open QCheck.Gen in
+  let str_g =
+    map
+      (fun l -> String.concat "" l)
+      (small_list
+         (oneof
+            [ map (String.make 1) printable; return "\""; return "\\";
+              return "\n"; return "\xE2\x82\xAC" ]))
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ return Json.Null; map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) small_signed_int;
+            map (fun s -> Json.Str s) str_g ]
+      else
+        frequency
+          [ (2, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
+            (2,
+             map
+               (fun kvs -> Json.Obj kvs)
+               (list_size (0 -- 4) (pair str_g (self (n / 2)))));
+            (1, map (fun i -> Json.Int i) small_signed_int) ])
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"qcheck: json round-trips exactly"
+    (QCheck.make json_gen) (fun t ->
+        Json.parse (Json.to_string t) = Ok t
+        && Json.parse (Json.to_string ~indent:2 t) = Ok t)
+
+(* Corrupt-prefix fuzz: truncating or byte-flipping a valid document
+   must come back as [Ok] (when the damage still parses) or an [Error]
+   naming the byte offset — never an exception, never a stack
+   overflow. *)
+let qcheck_json_corrupt_prefix =
+  QCheck.Test.make ~count:300
+    ~name:"qcheck: truncated/corrupt json never raises, errors name offsets"
+    QCheck.(pair (QCheck.make json_gen) (pair small_nat small_nat))
+    (fun (t, (cut, flip)) ->
+       let s = Json.to_string t in
+       let n = String.length s in
+       let truncated = String.sub s 0 (min cut n) in
+       let flipped =
+         if n = 0 then s
+         else begin
+           let b = Bytes.of_string s in
+           let i = flip mod n in
+           Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5b));
+           Bytes.to_string b
+         end
+       in
+       List.for_all
+         (fun doc ->
+            match Json.parse doc with
+            | Ok _ -> true
+            | Error m -> Helpers.contains m "offset"
+            | exception e ->
+              QCheck.Test.fail_reportf "parse raised %s on %S"
+                (Printexc.to_string e) doc)
+         [ truncated; flipped ])
+
+let test_json_depth_cap () =
+  (* Pathological nesting must be a clean [Error], not Stack_overflow. *)
+  match Json.parse (String.make 5000 '[') with
+  | Ok _ -> Alcotest.fail "unterminated nesting accepted"
+  | Error m ->
+    Alcotest.(check bool) "names the cap" true (Helpers.contains m "nesting")
+
+(* --- sample serialization (checkpoint transport) ------------------- *)
+
+let test_sample_json_roundtrip () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter reg ~help:"c" "c_total") 41;
+  (* Gauges with no exact 6-digit decimal image: the hex side-channel
+     must carry the exact bits. *)
+  Metrics.Gauge.set (Metrics.gauge reg "g1") 0.1;
+  Metrics.Gauge.set
+    (Metrics.gauge reg ~labels:[ ("k", "v w") ] "g2")
+    (-1.23456789012345e-17);
+  let h = Metrics.histogram reg "h" in
+  List.iter (Histogram.observe h) [ 0; 1; 17; 123456 ];
+  let samples = Metrics.snapshot reg in
+  (match Metrics.samples_of_json (Metrics.samples_to_json samples) with
+   | Ok back ->
+     Alcotest.(check bool) "bit-exact round-trip" true (back = samples)
+   | Error m -> Alcotest.failf "samples_of_json: %s" m);
+  (* And through the actual emitted text, as a checkpoint would. *)
+  let text = Json.to_string (Metrics.samples_to_json samples) in
+  match Json.parse text with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok j -> (
+      match Metrics.samples_of_json j with
+      | Ok back ->
+        Alcotest.(check bool) "text round-trip still exact" true
+          (back = samples)
+      | Error m -> Alcotest.failf "samples_of_json after parse: %s" m)
+
+let test_sample_json_rejects_malformed () =
+  let reject what j =
+    match Metrics.sample_of_json j with
+    | Ok _ -> Alcotest.failf "%s accepted" what
+    | Error _ -> ()
+  in
+  reject "not an object" (Json.Int 3);
+  reject "bad name"
+    (Json.Obj
+       [ ("name", Json.Str "0bad"); ("help", Json.Str "");
+         ("labels", Json.Obj []); ("kind", Json.Str "counter");
+         ("value", Json.Int 1) ]);
+  reject "negative counter"
+    (Json.Obj
+       [ ("name", Json.Str "c"); ("help", Json.Str "");
+         ("labels", Json.Obj []); ("kind", Json.Str "counter");
+         ("value", Json.Int (-1)) ]);
+  reject "unknown kind"
+    (Json.Obj
+       [ ("name", Json.Str "c"); ("help", Json.Str "");
+         ("labels", Json.Obj []); ("kind", Json.Str "meter");
+         ("value", Json.Int 1) ]);
+  (* Histogram whose bucket counts disagree with its total. *)
+  reject "inconsistent histogram"
+    (Json.Obj
+       [ ("name", Json.Str "h"); ("help", Json.Str "");
+         ("labels", Json.Obj []); ("kind", Json.Str "histogram");
+         ("value",
+          Json.Obj
+            [ ("count", Json.Int 5); ("sum", Json.Int 5);
+              ("min", Json.Int 1); ("max", Json.Int 1);
+              ("buckets",
+               Json.List [ Json.List [ Json.Int 1; Json.Int 2 ] ]) ]) ]);
+  match
+    Metrics.samples_of_json (Json.List [ Json.Int 1 ])
+  with
+  | Ok _ -> Alcotest.fail "bad element accepted"
+  | Error m ->
+    Alcotest.(check bool) "names the sample index" true
+      (Helpers.contains m "sample 0")
+
 (* --- Prometheus exposition ----------------------------------------- *)
 
 let render_fixture () =
@@ -552,6 +694,14 @@ let suite =
       test_instruments_allocation_free;
     Alcotest.test_case "json: round-trip and rejection" `Quick
       test_json_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_json_corrupt_prefix;
+    Alcotest.test_case "json: nesting cap instead of stack overflow" `Quick
+      test_json_depth_cap;
+    Alcotest.test_case "samples: exact json round-trip (hex gauges)" `Quick
+      test_sample_json_roundtrip;
+    Alcotest.test_case "samples: malformed images are rejected" `Quick
+      test_sample_json_rejects_malformed;
     Alcotest.test_case "prometheus: exposition is well-formed" `Quick
       test_prometheus_well_formed;
     Alcotest.test_case "sampler: counters match scheduler ground truth"

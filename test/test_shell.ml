@@ -216,4 +216,79 @@ let suite =
           (fun needle ->
              Alcotest.(check bool) needle true (Helpers.contains out needle))
           [ "cycle 50"; "cycle 100"; "sink"; "sched"; "replay p50/p99";
-            "watched 100 cycles" ]) ]
+            "watched 100 cycles" ]);
+    Alcotest.test_case "campaign --par matches the sequential campaign"
+      `Quick (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-alarmed" in
+        let seq = exec s "campaign flips src.out0->op_fork.in0 6 42" in
+        let par =
+          exec s "campaign flips src.out0->op_fork.in0 6 42 --par 2"
+        in
+        Alcotest.(check bool) "all shards completed" true
+          (Helpers.contains par "6 shards — 6 completed");
+        (* The sequential summary's per-class counts reappear in the
+           runner's merged histogram. *)
+        List.iter
+          (fun cls ->
+             if Helpers.contains seq (cls ^ ":") then
+               Alcotest.(check bool) ("histogram has " ^ cls) true
+                 (Helpers.contains par cls))
+          [ "masked"; "corrected"; "detected" ];
+        Alcotest.(check bool) "bad par rejected" true
+          (Helpers.contains
+             (expect_error s
+                "campaign flips src.out0->op_fork.in0 6 42 --par 0")
+             "--par");
+        Alcotest.(check bool) "checkpoint needs par" true
+          (Helpers.contains
+             (expect_error s
+                "campaign flips src.out0->op_fork.in0 6 42 --checkpoint x")
+             "--par"));
+    Alcotest.test_case "runner status and resume from a checkpoint" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        let _ = exec s "load rs-alarmed" in
+        let file = Filename.temp_file "shell_runner" ".jsonl" in
+        let cmd =
+          Fmt.str "campaign flips src.out0->op_fork.in0 5 42 --par 1 \
+                   --checkpoint %s"
+            file
+        in
+        let first = exec s cmd in
+        Alcotest.(check bool) "completed" true
+          (Helpers.contains first "5 shards — 5 completed");
+        let status = exec s (Fmt.str "runner status %s" file) in
+        Alcotest.(check bool) "status counts shards" true
+          (Helpers.contains status "5/5 shards checkpointed");
+        let resumed = exec s (Fmt.str "runner resume %s" file) in
+        Alcotest.(check bool) "everything adopted" true
+          (Helpers.contains resumed "(5 resumed)");
+        Sys.remove file;
+        let m = expect_error s (Fmt.str "runner status %s" file) in
+        Alcotest.(check bool) "missing checkpoint is an error" true
+          (String.length m > 0));
+    Alcotest.test_case "on-error continue keeps scripts going" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        (match
+           Shell.run_script s
+             [ "on-error continue"; "load fig1a"; "bogus"; "area" ]
+         with
+         | Ok outputs ->
+           let all = String.concat "\n" outputs in
+           Alcotest.(check bool) "failure reported with its line" true
+             (Helpers.contains all "error: line 3");
+           Alcotest.(check bool) "later lines still ran" true
+             (Helpers.contains all "gate equivalents")
+         | Error m -> Alcotest.failf "script aborted: %s" m);
+        (* on-error abort restores the stop-at-first-error default. *)
+        let s2 = Shell.create () in
+        match
+          Shell.run_script s2
+            [ "on-error continue"; "on-error abort"; "load fig1a"; "bogus" ]
+        with
+        | Ok _ -> Alcotest.fail "abort mode should stop the script"
+        | Error m ->
+          Alcotest.(check bool) "line provenance" true
+            (Helpers.contains m "line 4")) ]
