@@ -1039,6 +1039,65 @@ let json_e6 ~n ~pcts ?artifact () =
      @ [ metrics_record ~artifact:"METRICS_E6" ~cycles:(2 * n)
            dp.Examples.d_net ])
 
+(* E9: arena backend speedup.  Both backends run the same levelized    *)
+(* schedule, so everything observable (sink streams, eval counts) must *)
+(* agree; the arena's flat preallocated state buys the wall-clock      *)
+(* ratio recorded here.  Timing fields carry the [_seconds] /          *)
+(* [_per_second] / [_speedup] suffixes the gate skips; the committed   *)
+(* baseline is backend- and machine-independent.                       *)
+
+let json_e9 ~cycles () =
+  let measure mode net =
+    (* Best of a few fresh engines: the minimum settle time is the one
+       least polluted by scheduler noise on a loaded machine. *)
+    let best = ref infinity in
+    let keep = ref None in
+    for _ = 1 to 5 do
+      let eng = Elastic_sim.Engine.create ~monitor:false ~mode net in
+      Elastic_sim.Engine.run eng cycles;
+      let w =
+        Elastic_sim.Profile.wall_seconds (Elastic_sim.Engine.profile eng)
+      in
+      if w < !best then best := w;
+      keep := Some eng
+    done;
+    (Option.get !keep, !best)
+  in
+  let design name (d : Examples.design) =
+    let lv, tl = measure Elastic_sim.Engine.Levelized d.Examples.d_net in
+    let ar, ta = measure Elastic_sim.Engine.Arena d.Examples.d_net in
+    let stream eng =
+      Transfer.values (Elastic_sim.Engine.sink_stream eng d.Examples.d_sink)
+    in
+    let evals eng =
+      Elastic_sim.Profile.evals (Elastic_sim.Engine.profile eng)
+    in
+    let matches =
+      List.equal Value.equal (stream lv) (stream ar)
+      && evals lv = evals ar
+    in
+    let speedup = tl /. ta in
+    Json.Obj
+      [ ("design", Json.Str name);
+        ("cycles", Json.Int cycles);
+        ("levelized_settle_seconds", Json.Float tl);
+        ("arena_settle_seconds", Json.Float ta);
+        ("levelized_cycles_per_second", Json.Float (float_of_int cycles /. tl));
+        ("arena_cycles_per_second", Json.Float (float_of_int cycles /. ta));
+        ("arena_speedup", Json.Float speedup);
+        ("arena_matches_levelized", Json.Bool matches);
+        (* Conservative floor for the --check gate: measured speedups on
+           the speculative designs sit around 5x; anything under 3x means
+           the arena hot path regressed, not that the machine was busy. *)
+        ("speedup_ok", Json.Bool (speedup >= 3.0)) ]
+  in
+  let n = cycles / 2 in
+  let e5 = Examples.vl_speculative ~ops:(Alu.operands ~error_rate_pct:5 ~seed:42 n) in
+  let e6 = Examples.rs_speculative ~ops:(Examples.rs_ops ~error_rate_pct:5 ~seed:5 n) in
+  record ~experiment:"E9" ~title:"arena backend settle speedup"
+    [ ("designs",
+       Json.List [ design "vl_speculative" e5; design "rs_speculative" e6 ]) ]
+
 (* ------------------------------------------------------------------ *)
 (* --check: the regression gate.  Re-derives the paper's headline       *)
 (* claims from the records just produced, then diffs each record        *)
@@ -1112,6 +1171,33 @@ let claim_checks fail path j =
            | _ -> fail path (Fmt.str "points[%d]" i) "missing deliveries")
         pts
     | _ -> fail path "points" "missing"
+  end;
+  (* E9: the arena backend must agree with the levelized interpreter on
+     everything observable and must actually be faster — a speedup under
+     the (deliberately conservative) floor means the flat hot path
+     regressed. *)
+  if String.equal experiment "E9" then begin
+    match Json.member "designs" j with
+    | Some (Json.List ds) ->
+      List.iteri
+        (fun i d ->
+           (match Json.member "arena_matches_levelized" d with
+            | Some (Json.Bool true) -> ()
+            | _ ->
+              fail path
+                (Fmt.str "designs[%d].arena_matches_levelized" i)
+                "arena run diverged from the levelized run");
+           match Json.member "speedup_ok" d with
+           | Some (Json.Bool true) -> ()
+           | _ ->
+             fail path
+               (Fmt.str "designs[%d].speedup_ok" i)
+               (Fmt.str "arena speedup below the 3x floor (%gx)"
+                  (match Json.member "arena_speedup" d with
+                   | Some v -> flt v
+                   | None -> nan)))
+        ds
+    | _ -> fail path "designs" "missing"
   end;
   (* E8: the runner's determinism contract — every worker count of the
      scaling curve completes all shards and reproduces the 1-worker
@@ -1223,7 +1309,8 @@ let json_mode ~quick ~trace () =
        json_e5 ~n ~pcts:e5_pcts ?artifact:(artifact "TRACE_E5") ());
       ("BENCH_E6.json",
        json_e6 ~n ~pcts:e6_pcts ?artifact:(artifact "TRACE_E6") ());
-      ("BENCH_E8.json", json_e8 ~count:(if quick then 24 else 96) ()) ]
+      ("BENCH_E8.json", json_e8 ~count:(if quick then 24 else 96) ());
+      ("BENCH_E9.json", json_e9 ~cycles:(if quick then 4_000 else 20_000) ()) ]
   in
   List.iter
     (fun (path, j) ->

@@ -18,12 +18,15 @@ type session = {
   mutable pending_resume : Elastic_runner.Checkpoint.t option;
       (* Set by [runner resume] for the campaign command it re-executes;
          consumed by the next [campaign --par] run. *)
+  mutable eval_mode : Elastic_sim.Engine.eval_mode option;
+      (* [mode] command override for simulation engines; [None] defers
+         to the engine's default (the ELASTIC_EVAL_MODE environment). *)
 }
 
 let create () =
   { net = None; design = "netlist"; undo = []; redo = [];
     trace_capacity = None; tracer = None; on_error_continue = false;
-    pending_resume = None }
+    pending_resume = None; eval_mode = None }
 
 let current s = s.net
 
@@ -78,6 +81,10 @@ let help =
   watch [cycles] [every]   live dashboard: simulate and render a frame
                            every [every] cycles (throughput, prediction
                            accuracy, replay penalties, stalls, occupancy)
+  mode [levelized|reference|arena]
+                           show or pick the evaluation backend used by
+                           simulation commands (default: levelized, or
+                           the ELASTIC_EVAL_MODE environment variable)
   cycletime                static cycle-time analysis
   area                     gate-equivalent area
   bound                    marked-graph throughput bound
@@ -130,7 +137,7 @@ let commands =
   [ "load"; "show"; "candidates"; "bubble"; "buffer"; "remove-buffer";
     "convert"; "fifo"; "retime-fwd"; "retime-bwd"; "shannon"; "early";
     "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
-    "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch";
+    "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch"; "mode";
     "cycletime"; "area"; "bound"; "critical"; "verify"; "lint"; "inject";
     "campaign"; "runner"; "on-error"; "dot"; "verilog"; "blif"; "smv";
     "undo"; "redo"; "help"; "quit"; "exit" ]
@@ -234,7 +241,7 @@ let catch f =
    [trace on] is in effect a tracer rides along on the observer hook and
    is kept for [trace dump] and error reports. *)
 let sim_engine s net =
-  let eng = Elastic_sim.Engine.create net in
+  let eng = Elastic_sim.Engine.create ?mode:s.eval_mode net in
   (match s.trace_capacity with
    | None -> ()
    | Some capacity ->
@@ -246,7 +253,7 @@ module Metr = Elastic_metrics
 (* Simulate [cycles] with a metrics sampler attached, composing with a
    tracer when [trace on] is in effect (single observer slot). *)
 let sampled_run s net ?window ?on_window cycles =
-  let eng = Elastic_sim.Engine.create net in
+  let eng = Elastic_sim.Engine.create ?mode:s.eval_mode net in
   let sampler = Metr.Sampler.create ?window ?on_window eng in
   let tr =
     match s.trace_capacity with
@@ -570,6 +577,25 @@ let rec execute_cmd s line =
   match words with
   | [] | "#" :: _ -> Ok ""
   | [ "help" ] -> Ok help
+  | [ "mode" ] ->
+    let current =
+      match s.eval_mode with
+      | Some m -> Elastic_sim.Engine.mode_name m
+      | None ->
+        (* Mirror the default an engine created right now would pick. *)
+        Elastic_sim.Engine.mode_name
+          (Elastic_sim.Engine.mode (Elastic_sim.Engine.create Elastic_netlist.Netlist.empty))
+    in
+    Ok (Printf.sprintf "mode: %s" current)
+  | [ "mode"; name ] -> (
+      match Elastic_sim.Engine.mode_of_string name with
+      | Some m ->
+        s.eval_mode <- Some m;
+        Ok (Printf.sprintf "mode set to %s" (Elastic_sim.Engine.mode_name m))
+      | None ->
+        Error
+          (Printf.sprintf
+             "unknown mode %S (expected levelized, reference or arena)" name))
   | [ "load"; name ] -> (
       match List.assoc_opt name designs with
       | Some mk ->
@@ -850,7 +876,7 @@ let rec execute_cmd s line =
                     (watch_frame net eng r.Metr.Sampler.r_samples
                        r.Metr.Sampler.r_cycle)
               in
-              let eng = Elastic_sim.Engine.create net in
+              let eng = Elastic_sim.Engine.create ?mode:s.eval_mode net in
               eng_slot := Some eng;
               let sampler =
                 Metr.Sampler.create ~window:every ~on_window eng
@@ -922,7 +948,7 @@ let rec execute_cmd s line =
         | Error m -> Error m
         | Ok cycles ->
           catch (fun () ->
-              let eng = Elastic_sim.Engine.create net in
+              let eng = Elastic_sim.Engine.create ?mode:s.eval_mode net in
               let rc = Elastic_trace.Vcd.create net in
               (* Compose the VCD recorder with a tracer when tracing is
                  on — the engine has a single observer slot. *)
@@ -959,7 +985,7 @@ let rec execute_cmd s line =
         | Error m -> Error m
         | Ok cycles ->
           catch (fun () ->
-              let eng = Elastic_sim.Engine.create net in
+              let eng = Elastic_sim.Engine.create ?mode:s.eval_mode net in
               let tr = Elastic_trace.Tracer.attach eng in
               s.tracer <- Some tr;
               Elastic_sim.Engine.run eng cycles;

@@ -23,56 +23,66 @@ let data_index_of_position =
   Array.iteri (fun i p -> t.(p) <- i) data_positions;
   t
 
-let data_bit w i = Int64.to_int (Int64.logand (Int64.shift_right_logical w i) 1L)
+(* The classical Hamming identity: the recomputed check vector is the
+   XOR of the codeword positions of the set data bits.  The per-byte
+   table below packs, for byte [b] at data bits [8k..8k+7], that
+   position-XOR (low 7 bits — positions are < 128) together with the
+   byte's popcount parity at bit 7; XOR distributes over both packed
+   fields, so folding eight table entries yields the full check vector
+   and the data parity in one pass.  The decoder sits on the
+   simulator's per-token datapath (every E6 token crosses it), which
+   is why this replaces the original 64x7 per-bit loop. *)
+let syndrome_tab =
+  let t = Array.make (8 * 256) 0 in
+  for k = 0 to 7 do
+    for b = 0 to 255 do
+      let acc = ref 0 in
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then
+          acc := !acc lxor data_positions.((8 * k) + bit) lxor 0x80
+      done;
+      t.((k lsl 8) lor b) <- !acc
+    done
+  done;
+  t
 
-(* Hamming check bit j = parity of the data bits whose position has bit j
-   set. *)
-let hamming_checks data =
-  let c = Array.make 7 0 in
-  Array.iteri
-    (fun i p ->
-       let b = data_bit data i in
-       for j = 0 to 6 do
-         if p land (1 lsl j) <> 0 then c.(j) <- c.(j) lxor b
-       done)
-    data_positions;
-  c
+(* Low 7 bits: recomputed Hamming checks; bit 7: data parity. *)
+let fold_syndrome data =
+  let lo = Int64.to_int (Int64.logand data 0xFFFF_FFFFL)
+  and hi = Int64.to_int (Int64.shift_right_logical data 32) in
+  let acc = ref 0 in
+  for k = 0 to 3 do
+    acc :=
+      !acc
+      lxor Array.unsafe_get syndrome_tab
+             ((k lsl 8) lor ((lo lsr (8 * k)) land 0xff))
+      lxor Array.unsafe_get syndrome_tab
+             (((k + 4) lsl 8) lor ((hi lsr (8 * k)) land 0xff))
+  done;
+  !acc
+
+let parity8 x =
+  let x = x lxor (x lsr 4) in
+  let x = x lxor (x lsr 2) in
+  let x = x lxor (x lsr 1) in
+  x land 1
 
 let encode data =
-  let c = hamming_checks data in
-  let hamming = ref 0 in
-  for j = 0 to 6 do
-    hamming := !hamming lor (c.(j) lsl j)
-  done;
+  let acc = fold_syndrome data in
+  let hamming = acc land 0x7f in
   (* Overall parity covers all 71 positions (data + hamming checks). *)
-  let parity = ref 0 in
-  for i = 0 to 63 do
-    parity := !parity lxor data_bit data i
-  done;
-  for j = 0 to 6 do
-    parity := !parity lxor c.(j)
-  done;
-  { data; check = !hamming lor (!parity lsl 7) }
+  let parity = (acc lsr 7) lxor parity8 hamming in
+  { data; check = hamming lor (parity lsl 7) }
 
 type verdict = No_error | Corrected of int64 | Double_error
 
 let decode cw =
-  let received_check j = (cw.check lsr j) land 1 in
-  let c = hamming_checks cw.data in
-  (* Syndrome bit j: recomputed check vs received check. *)
-  let syndrome = ref 0 in
-  for j = 0 to 6 do
-    if c.(j) lxor received_check j = 1 then
-      syndrome := !syndrome lor (1 lsl j)
-  done;
-  let parity = ref 0 in
-  for i = 0 to 63 do
-    parity := !parity lxor data_bit cw.data i
-  done;
-  for j = 0 to 7 do
-    parity := !parity lxor received_check j
-  done;
-  match !syndrome, !parity with
+  let acc = fold_syndrome cw.data in
+  (* Syndrome: recomputed check vector vs received checks; parity folds
+     the data bits with all eight received check bits. *)
+  let syndrome = (acc land 0x7f) lxor (cw.check land 0x7f) in
+  let parity = (acc lsr 7) lxor parity8 (cw.check land 0xff) in
+  match syndrome, parity with
   | 0, 0 -> No_error
   | 0, _ ->
     (* Error in the overall parity bit itself: data is intact. *)

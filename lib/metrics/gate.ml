@@ -11,11 +11,17 @@ let wall_clock_key path =
     | Some i -> String.sub path (i + 1) (String.length path - i - 1)
     | None -> path
   in
+  let suffixed suf =
+    let n = String.length suf in
+    String.length last > n
+    && String.equal (String.sub last (String.length last - n) n) suf
+  in
   String.equal last "settle_us_per_cycle"
-  || (String.length last > 8
-      && String.equal
-           (String.sub last (String.length last - 8) 8)
-           "_seconds")
+  || suffixed "_seconds"
+  (* Derived rates and ratios are as machine-dependent as the raw
+     timings they come from (bench E9). *)
+  || suffixed "_per_second"
+  || suffixed "_speedup"
 
 (* Leaves of a record, as [path -> value] in document order.  Array
    elements are indexed ([points[2].spec_throughput]) so a reordering

@@ -7,8 +7,9 @@
     tolerance (they round-trip through the 6-significant-digit JSON
     emitter), and a path present on one side only is a failure in
     either direction.  Wall-clock-dependent keys
-    ([settle_us_per_cycle], [*_seconds]) are skipped by default — they
-    measure the machine, not the design. *)
+    ([settle_us_per_cycle], [*_seconds], [*_per_second], [*_speedup])
+    are skipped by default — they measure the machine, not the
+    design. *)
 
 type diff = {
   d_path : string;  (** e.g. [points[2].spec_throughput] *)

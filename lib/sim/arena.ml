@@ -1,0 +1,829 @@
+(* Flat-arena evaluator for the combinational phase of a cycle.
+
+   The record engine ([Wires] + [Instance.eval]) walks per-channel
+   records of [bool option] fields and allocates options/arrays on the
+   hot settle path.  This module compiles the same levelized schedule
+   (PR 2) onto preallocated flat arrays: channel ids index packed
+   integer control words, node ids index flat port/instruction arrays,
+   and the settle loop is a tight int loop with no per-field closures
+   or record allocation.
+
+   Correctness contract (enforced by the three-way differential suite):
+   the arena executes the *identical* algorithm as [settle_levelized] —
+   same evaluation order, same dirty-set propagation (written wires
+   walked most-recent-first, readers queued in array order), same
+   budgets — so eval counts, settle passes, traces and metrics are
+   byte-identical to [Levelized] mode.  Speedup comes from removing
+   allocation and indirection, not from evaluating less.
+
+   Memory layout (see DESIGN.md §5e):
+   - [ctrl.(c)]: four 2-bit Kleene codes packed per channel —
+     V+ at bit 0, S+ at bit 2, V- at bit 4, S- at bit 6.
+     Code 0 = unknown, 2 = known-false, 3 = known-true, so
+     "known" is bit 1 and negation is [lxor 1] on known codes.
+   - [force.(c)]: override codes in the same packing (0 = unforced).
+   - data is split by tag ([dtag]): unboxed ints in [dint], 64-bit
+     words in the [dbig] Bigarray, everything else as a [Value.t]
+     pointer in [dval].
+   - [written]/[written_n]: bump-allocated write log replacing the
+     [Wires.written] cons list (iterated top-down = most-recent-first).
+   - node "instructions" are index arrays into the shared [ports]
+     pool: per node a slice of input wires, output wires and (for
+     joins) the data-function argument list. *)
+
+open Elastic_kernel
+open Elastic_sched
+open Elastic_netlist
+
+(* Raised when an SCC iteration exhausts its safety budget; the engine
+   converts it into the same E110 error Levelized mode raises. *)
+exception Did_not_converge
+
+(* 2-bit Kleene codes over ints, as 16-entry truth tables indexed by
+   [(a lsl 2) lor b].  The settle loop's Kleene operands are
+   data-dependent, so table lookups (always L1-hot) beat the
+   mispredict-prone compare chains; rows for the invalid code 1 are
+   don't-cares. *)
+let kand_tab = [| 0; 0; 2; 0; 0; 0; 0; 0; 2; 2; 2; 2; 0; 0; 2; 3 |]
+
+let kor_tab = [| 0; 0; 0; 3; 0; 0; 0; 0; 0; 0; 2; 3; 3; 3; 3; 3 |]
+
+let knot_tab = [| 0; 0; 3; 2 |]
+
+let[@inline] knot x = Array.unsafe_get knot_tab x
+
+let[@inline] kand a b = Array.unsafe_get kand_tab ((a lsl 2) lor b)
+
+(* Fused forms of the recurring [knot] compositions, one lookup each:
+   [kandn a b] = a AND NOT b, [korn a b] = a OR NOT b,
+   [knor a b] = NOT (a OR b). *)
+let fuse2 f =
+  Array.init 16 (fun x -> f (x lsr 2) (x land 3))
+
+let kandn_tab = fuse2 (fun a b -> Array.unsafe_get kand_tab ((a lsl 2) lor Array.unsafe_get knot_tab b))
+
+let korn_tab = fuse2 (fun a b -> Array.unsafe_get kor_tab ((a lsl 2) lor Array.unsafe_get knot_tab b))
+
+let knor_tab = fuse2 (fun a b -> Array.unsafe_get knot_tab (Array.unsafe_get kor_tab ((a lsl 2) lor b)))
+
+let[@inline] kandn a b = Array.unsafe_get kandn_tab ((a lsl 2) lor b)
+
+let[@inline] korn a b = Array.unsafe_get korn_tab ((a lsl 2) lor b)
+
+let[@inline] knor a b = Array.unsafe_get knor_tab ((a lsl 2) lor b)
+
+let[@inline] code_of_bool b = 2 lor Bool.to_int b
+
+(* Field offsets inside a packed control word. *)
+let vp = 0
+
+let sp = 2
+
+let vm = 4
+
+let sm = 6
+
+type t = {
+  nchan : int;
+  (* Per-channel packed state. *)
+  ctrl : int array;
+  force : int array;
+  dtag : int array;  (* 0 none / 1 int / 2 word / 3 boxed *)
+  dint : int array;
+  dbig : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  dval : Value.t array;
+  ov_map : (Value.t -> Value.t) option array;
+  ov_subst : Value.t option array;
+  (* Write log since the last [clear_progress]; a non-empty log is the
+     progress signal. *)
+  written : int array;
+  mutable written_n : int;
+  (* Flat node table. *)
+  states : Instance.state array;
+  ins_base : int array;
+  ins_n : int array;
+  outs_base : int array;
+  outs_n : int array;
+  selw : int array;  (* sel wire index, -1 when absent *)
+  jbase : int array;  (* join argument list (sel-prefixed for late mux) *)
+  jn : int array;
+  ports : int array;  (* shared index pool for all the slices above *)
+  fns : (Value.t list -> Value.t) array;  (* join / shared data function *)
+  (* Settle machinery (preallocated). *)
+  schedule : Schedule.t;
+  dirty : bool array;
+  queue : int array;  (* ring buffer of dirty SCC members *)
+  mutable qh : int;
+  mutable qt : int;
+  scratch : int array;  (* per-port Kleene codes (valids / completions) *)
+  profile : Profile.t;
+  pn : int array;  (* [profile]'s per-node counters, bumped in place *)
+  mutable pending_evals : int;  (* folded into [profile] per settle *)
+  cycle_evals : int array;
+  mutable last_eval : int;  (* node evaluating when an exception escaped *)
+  (* Any control-field force installed?  [set_code] skips the per-write
+     force lookup in the (benchmarked) fault-free case. *)
+  mutable forced_any : bool;
+}
+
+let create ~schedule ~profile ~cycle_evals ~nchan specs =
+  let n_nodes = Array.length specs in
+  let sz = max n_nodes 1 in
+  let ins_base = Array.make sz 0 in
+  let ins_n = Array.make sz 0 in
+  let outs_base = Array.make sz 0 in
+  let outs_n = Array.make sz 0 in
+  let selw = Array.make sz (-1) in
+  let jbase = Array.make sz 0 in
+  let jn = Array.make sz 0 in
+  let states = Array.make sz Instance.S_stateless in
+  let fns = Array.make sz (fun _ -> (assert false : Value.t)) in
+  let chunks = ref [] in
+  let pos = ref 0 in
+  let alloc arr =
+    let b = !pos in
+    pos := !pos + Array.length arr;
+    chunks := (b, arr) :: !chunks;
+    b
+  in
+  let max_fan = ref 1 in
+  Array.iteri
+    (fun i (inst, in_ch, sel_ch, out_ch) ->
+       states.(i) <- Instance.state inst;
+       ins_base.(i) <- alloc in_ch;
+       ins_n.(i) <- Array.length in_ch;
+       outs_base.(i) <- alloc out_ch;
+       outs_n.(i) <- Array.length out_ch;
+       (match sel_ch with Some s -> selw.(i) <- s | None -> ());
+       max_fan :=
+         max !max_fan (max (Array.length in_ch) (Array.length out_ch));
+       match (Instance.node inst).Netlist.kind with
+       | Netlist.Func f ->
+         jbase.(i) <- ins_base.(i);
+         jn.(i) <- Array.length in_ch;
+         fns.(i) <- Func.apply f
+       | Netlist.Mux { ways; early = false } ->
+         (* The late mux is a join over [sel :: ins] with a select
+            data function — both precomputed here, where the record
+            engine rebuilds them on every evaluation. *)
+         let all = Array.append [| Option.get sel_ch |] in_ch in
+         jbase.(i) <- alloc all;
+         jn.(i) <- Array.length all;
+         max_fan := max !max_fan jn.(i);
+         fns.(i) <- Func.apply (Func.select ~ways ())
+       | Netlist.Shared { f; _ } -> fns.(i) <- Func.apply f
+       | Netlist.Source _ | Netlist.Sink _ | Netlist.Buffer _
+       | Netlist.Fork _ | Netlist.Mux _ | Netlist.Varlat _ -> ())
+    specs;
+  let ports = Array.make (max !pos 1) 0 in
+  List.iter
+    (fun (b, arr) -> Array.blit arr 0 ports b (Array.length arr))
+    !chunks;
+  (* Power-of-two ring capacity so the settle loop wraps with [land]
+     instead of an integer division. *)
+  let qcap = ref 1 in
+  while !qcap < n_nodes + 1 do
+    qcap := !qcap * 2
+  done;
+  let csz = max nchan 1 in
+  { nchan;
+    ctrl = Array.make csz 0;
+    force = Array.make csz 0;
+    dtag = Array.make csz 0;
+    dint = Array.make csz 0;
+    dbig = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout csz;
+    dval = Array.make csz Value.Unit;
+    ov_map = Array.make csz None;
+    ov_subst = Array.make csz None;
+    written = Array.make ((5 * nchan) + 8) 0;
+    written_n = 0;
+    states; ins_base; ins_n; outs_base; outs_n; selw; jbase; jn; ports;
+    fns;
+    schedule;
+    dirty = Array.make sz false;
+    queue = Array.make !qcap 0;
+    qh = 0;
+    qt = 0;
+    scratch = Array.make !max_fan 0;
+    profile;
+    pn = Profile.per_node_array profile;
+    pending_evals = 0;
+    cycle_evals;
+    last_eval = 0;
+    forced_any = false }
+
+(* ------------------------------------------------------------------ *)
+(* Wire access                                                         *)
+
+(* Hot-path indices below are structural — compiled from the schedule
+   at [create] and bounded by construction — so the accessors skip the
+   bounds checks.  The one data-dependent index in the evaluator (the
+   mux select in [eval_emux]) keeps its check: the [Invalid_argument]
+   it raises on an out-of-range select is part of the error contract
+   shared with the record engine.  The write log cannot overflow: every
+   entry is guarded by a write-once test, so at most five writes per
+   channel fit the [5 * nchan + 8] buffer. *)
+
+let[@inline] get t c off = (Array.unsafe_get t.ctrl c lsr off) land 3
+
+let[@inline] in_w t i j =
+  Array.unsafe_get t.ports (Array.unsafe_get t.ins_base i + j)
+
+let[@inline] out_w t i j =
+  Array.unsafe_get t.ports (Array.unsafe_get t.outs_base i + j)
+
+let[@inline] push_written t c =
+  Array.unsafe_set t.written t.written_n c;
+  t.written_n <- t.written_n + 1
+
+(* Write-once semantics of [Wires.set_bit]: an override replaces the
+   written value; a first write logs progress; a contradicting re-write
+   raises the same [Wires.Conflict] the record engine raises (the field
+   names must match for identical error rendering). *)
+let set_code t c off field code =
+  let code =
+    if not t.forced_any then code
+    else begin
+      let f = (Array.unsafe_get t.force c lsr off) land 3 in
+      if f <> 0 then f else code
+    end
+  in
+  let w = Array.unsafe_get t.ctrl c in
+  let cur = (w lsr off) land 3 in
+  if cur = 0 then begin
+    Array.unsafe_set t.ctrl c (w lor (code lsl off));
+    push_written t c
+  end
+  else if cur <> code then raise (Wires.Conflict { wire = c; field })
+
+let[@inline] set_bool t c off field b =
+  set_code t c off field (code_of_bool b)
+
+(* Combined write of two control fields of one wire: one ctrl load and
+   store, one write-log entry.  Only for nonzero codes (unconditional
+   writes).  Equivalent to two [set_code] calls: the write log dedups
+   through the dirty flags, so one entry propagates exactly like two,
+   and conflict precedence follows field order.  Overrides fall back to
+   the per-field path. *)
+let set_code2 t c off1 field1 code1 off2 field2 code2 =
+  if t.forced_any then begin
+    set_code t c off1 field1 code1;
+    set_code t c off2 field2 code2
+  end
+  else begin
+    let w = Array.unsafe_get t.ctrl c in
+    let cur1 = (w lsr off1) land 3 in
+    let add =
+      if cur1 = 0 then code1 lsl off1
+      else if cur1 <> code1 then
+        raise (Wires.Conflict { wire = c; field = field1 })
+      else 0
+    in
+    let cur2 = (w lsr off2) land 3 in
+    let add =
+      if cur2 = 0 then add lor (code2 lsl off2)
+      else if cur2 <> code2 then
+        raise (Wires.Conflict { wire = c; field = field2 })
+      else add
+    in
+    if add <> 0 then begin
+      Array.unsafe_set t.ctrl c (w lor add);
+      push_written t c
+    end
+  end
+
+let[@inline] set_bool2 t c off1 f1 b1 off2 f2 b2 =
+  set_code2 t c off1 f1 (code_of_bool b1) off2 f2 (code_of_bool b2)
+
+(* [put setter] of the record engine: write only once determined. *)
+let[@inline] kput t c off field code =
+  if code <> 0 then set_code t c off field code
+
+let materialize t c =
+  match Array.unsafe_get t.dtag c with
+  | 1 -> Value.Int (Array.unsafe_get t.dint c)
+  | 2 -> Value.Word (Bigarray.Array1.unsafe_get t.dbig c)
+  | _ -> Array.unsafe_get t.dval c
+
+(* Mirrors [Wires.data]: a forced-valid wire with no driven data yields
+   the substitute payload (token duplication / forgery faults). *)
+let data_opt t c =
+  if Array.unsafe_get t.dtag c = 0 then
+    if Array.unsafe_get t.force c land 3 = 3 then t.ov_subst.(c)
+    else None
+  else Some (materialize t c)
+
+let[@inline] has_data t c =
+  Array.unsafe_get t.dtag c <> 0
+  || (Array.unsafe_get t.force c land 3 = 3 && t.ov_subst.(c) <> None)
+
+let set_data t c v =
+  let v =
+    match Array.unsafe_get t.ov_map c with None -> v | Some f -> f v
+  in
+  if Array.unsafe_get t.dtag c = 0 then begin
+    (match v with
+     | Value.Int n ->
+       Array.unsafe_set t.dtag c 1;
+       Array.unsafe_set t.dint c n
+     | Value.Word w ->
+       Array.unsafe_set t.dtag c 2;
+       Bigarray.Array1.unsafe_set t.dbig c w
+     | v ->
+       Array.unsafe_set t.dtag c 3;
+       Array.unsafe_set t.dval c v);
+    push_written t c
+  end
+  else begin
+    let eq =
+      match v with
+      | Value.Int n ->
+        Array.unsafe_get t.dtag c = 1 && n = Array.unsafe_get t.dint c
+      | Value.Word w ->
+        Array.unsafe_get t.dtag c = 2
+        && Int64.equal w (Bigarray.Array1.unsafe_get t.dbig c)
+      | v ->
+        Array.unsafe_get t.dtag c = 3
+        && Value.equal v (Array.unsafe_get t.dval c)
+    in
+    if not eq then raise (Wires.Conflict { wire = c; field = "data" })
+  end
+
+(* Verbatim data move (fork / mux): copy by tag so the int fast path
+   never materializes a [Value.t].  Falls back to [set_data] when the
+   destination has a map-data override or the source only has a
+   substitute payload. *)
+let copy_data t src dst =
+  let stag = Array.unsafe_get t.dtag src in
+  if stag = 0 then begin
+    if Array.unsafe_get t.force src land 3 = 3 then
+      match t.ov_subst.(src) with
+      | Some v -> set_data t dst v
+      | None -> ()
+  end
+  else if Array.unsafe_get t.ov_map dst <> None then
+    set_data t dst (materialize t src)
+  else if Array.unsafe_get t.dtag dst = 0 then begin
+    Array.unsafe_set t.dtag dst stag;
+    (match stag with
+     | 1 -> Array.unsafe_set t.dint dst (Array.unsafe_get t.dint src)
+     | 2 ->
+       Bigarray.Array1.unsafe_set t.dbig dst
+         (Bigarray.Array1.unsafe_get t.dbig src)
+     | _ -> Array.unsafe_set t.dval dst (Array.unsafe_get t.dval src));
+    push_written t dst
+  end
+  else begin
+    let eq =
+      Array.unsafe_get t.dtag dst = stag
+      && (match stag with
+          | 1 ->
+            Array.unsafe_get t.dint dst = Array.unsafe_get t.dint src
+          | 2 ->
+            Int64.equal
+              (Bigarray.Array1.unsafe_get t.dbig dst)
+              (Bigarray.Array1.unsafe_get t.dbig src)
+          | _ ->
+            Value.equal
+              (Array.unsafe_get t.dval dst)
+              (Array.unsafe_get t.dval src))
+    in
+    if not eq then raise (Wires.Conflict { wire = dst; field = "data" })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Node evaluation: line-for-line transcriptions of the [Instance]
+   eval equations onto packed codes.  Write order is preserved — it
+   drives the written log, hence dirty propagation, hence eval counts. *)
+
+(* The paired writes below reorder only writes of the same wire (the
+   log dedups per wire, so propagation is unchanged) and never writes
+   a field another statement of the same body reads. *)
+
+let eval_source t i (st : Instance.source_state) =
+  let out = out_w t i 0 in
+  set_bool2 t out vp "V+" st.Instance.offering sm "S-" false;
+  if st.Instance.offering then
+    (match Instance.source_peek st with
+     | Some v -> set_data t out v
+     | None -> assert false)
+
+let eval_sink t i (st : Instance.sink_state) =
+  let inw = in_w t i 0 in
+  set_bool2 t inw sp "S+" st.Instance.stalling vm "V-" false
+
+let eval_eb t i (st : Instance.eb_state) =
+  let inw = in_w t i 0 and out = out_w t i 0 in
+  set_bool2 t inw sp "S+" (st.Instance.n >= 2) vm "V-" (st.Instance.n < 0);
+  set_bool2 t out vp "V+" (st.Instance.n > 0) sm "S-" (st.Instance.n <= -2);
+  (match st.Instance.queue with
+   | v :: _ when st.Instance.n > 0 -> set_data t out v
+   | _ :: _ | [] -> ())
+
+let eval_eb0 t i (st : Instance.eb0_state) =
+  let inw = in_w t i 0 and out = out_w t i 0 in
+  if st.Instance.full then begin
+    set_bool2 t out vp "V+" true sm "S-" false;
+    set_data t out st.Instance.stored;
+    set_bool t inw vm "V-" false;
+    let leaving = korn (get t out vm) (get t out sp) in
+    kput t inw sp "S+" (knot leaving)
+  end
+  else begin
+    set_bool t out vp "V+" false;
+    set_bool t inw sp "S+" false;
+    kput t inw vm "V-" (get t out vm);
+    kput t out sm "S-" (get t inw sm)
+  end
+
+(* Arity-1 joins (unary [Func] stages — the common datapath case)
+   collapse the generic join equations: the lone input's "other
+   members" conjunction is vacuous, so the stall passthrough is just
+   the effective output stall.  Same writes in the same order as
+   [eval_join] at [n = 1]. *)
+let eval_join1 t i =
+  let inw = Array.unsafe_get t.ports (Array.unsafe_get t.jbase i) in
+  let out = out_w t i 0 in
+  let v = get t inw vp in
+  kput t out vp "V+" v;
+  if v = 3 && Array.unsafe_get t.dtag out = 0 && has_data t inw then
+    (match data_opt t inw with
+     | Some d -> set_data t out (Array.unsafe_get t.fns i [ d ])
+     | None -> assert false);
+  let s_eff = kandn (get t out sp) (get t out vm) in
+  kput t inw sp "S+" s_eff;
+  let consumable = korn v (get t inw sm) in
+  let anti_backward =
+    kand (kandn (get t out vm) (get t out vp)) consumable
+  in
+  kput t inw vm "V-" anti_backward;
+  kput t out sm "S-" (knor (get t out vp) consumable)
+
+let eval_join t i =
+  let base = Array.unsafe_get t.jbase i
+  and n = Array.unsafe_get t.jn i in
+  let ports = t.ports in
+  let out = out_w t i 0 in
+  let valids = t.scratch in
+  let all_valid = ref 3 in
+  for j = 0 to n - 1 do
+    let v = get t (Array.unsafe_get ports (base + j)) vp in
+    Array.unsafe_set valids j v;
+    all_valid := kand !all_valid v
+  done;
+  kput t out vp "V+" !all_valid;
+  (* Data functions are pure combinational maps, so once the output
+     payload is driven a re-evaluation inside an SCC would recompute
+     the same value ([set_data] would compare equal) — skip the
+     argument-list build and application entirely. *)
+  if !all_valid = 3 && Array.unsafe_get t.dtag out = 0 then begin
+    let all_data = ref true in
+    for j = 0 to n - 1 do
+      if not (has_data t (Array.unsafe_get ports (base + j))) then
+        all_data := false
+    done;
+    if !all_data then begin
+      let rec datas j =
+        if j >= n then []
+        else
+          (match data_opt t (Array.unsafe_get ports (base + j)) with
+           | Some v -> v
+           | None -> assert false)
+          :: datas (j + 1)
+      in
+      set_data t out (Array.unsafe_get t.fns i (datas 0))
+    end
+  end;
+  let s_eff = kandn (get t out sp) (get t out vm) in
+  for j = 0 to n - 1 do
+    let others = ref 3 in
+    for l = 0 to n - 1 do
+      if l <> j then others := kand !others (Array.unsafe_get valids l)
+    done;
+    kput t (Array.unsafe_get ports (base + j)) sp "S+"
+      (knot (kandn !others s_eff))
+  done;
+  let consumable = ref 3 in
+  for j = 0 to n - 1 do
+    consumable :=
+      kand !consumable
+        (korn
+           (Array.unsafe_get valids j)
+           (get t (Array.unsafe_get ports (base + j)) sm))
+  done;
+  let anti_backward =
+    kand (kandn (get t out vm) (get t out vp)) !consumable
+  in
+  for j = 0 to n - 1 do
+    kput t (Array.unsafe_get ports (base + j)) vm "V-" anti_backward
+  done;
+  kput t out sm "S-" (knor (get t out vp) !consumable)
+
+let eval_fork t i (st : Instance.fork_state) =
+  let inw = in_w t i 0 in
+  let vin = get t inw vp in
+  let k = t.outs_n.(i) in
+  let done_ = st.Instance.done_ and pend = st.Instance.pend in
+  let completions = t.scratch in
+  for j = 0 to k - 1 do
+    let out = out_w t i j in
+    let dj = Array.unsafe_get done_ j and pj = Array.unsafe_get pend j in
+    let active = (not dj) && pj = 0 in
+    let v_out = if active then vin else 2 in
+    kput t out vp "V+" v_out;
+    if v_out = 3 then copy_data t inw out;
+    set_bool t out sm "S-" (pj >= 2);
+    let t_out = kand v_out (korn (get t out vm) (get t out sp)) in
+    Array.unsafe_set completions j (if dj || pj > 0 then 3 else t_out)
+  done;
+  let all_c = ref 3 in
+  for j = 0 to k - 1 do
+    all_c := kand !all_c (Array.unsafe_get completions j)
+  done;
+  kput t inw sp "S+" (knot !all_c);
+  let all_pending = ref true in
+  for j = 0 to Array.length pend - 1 do
+    if Array.unsafe_get pend j <= 0 then all_pending := false
+  done;
+  kput t inw vm "V-" (kandn (code_of_bool !all_pending) vin)
+
+let eval_emux t i (st : Instance.emux_state) =
+  let selw = Array.unsafe_get t.selw i and out = out_w t i 0 in
+  let sel_v = get t selw vp in
+  let sv_known, sv =
+    if sel_v = 3 then
+      if Array.unsafe_get t.dtag selw = 1 then
+        (true, Array.unsafe_get t.dint selw)
+      else
+        match data_opt t selw with
+        | Some v -> (true, Value.to_int v)
+        | None -> (false, 0)
+    else (false, 0)
+  in
+  let q = st.Instance.q in
+  let v_out =
+    if sel_v = 2 then 2
+    else if sv_known then
+      (if q.(sv) > 0 then 2 else get t (in_w t i sv) vp)
+    else 0
+  in
+  kput t out vp "V+" v_out;
+  if v_out = 3 && sv_known then copy_data t (in_w t i sv) out;
+  let fire = kand v_out (korn (get t out vm) (get t out sp)) in
+  kput t selw sp "S+" (knot fire);
+  (* The mux never kills its select stream. *)
+  set_bool t selw vm "V-" false;
+  let n = Array.unsafe_get t.ins_n i in
+  for j = 0 to n - 1 do
+    let inw = in_w t i j in
+    if q.(j) > 0 then begin
+      set_bool t inw vm "V-" true;
+      set_bool t inw sp "S+" false
+    end
+    else begin
+      let fresh_kill =
+        if sel_v = 2 then 2
+        else if sv_known then (if j = sv then 2 else fire)
+        else 0
+      in
+      kput t inw vm "V-" fresh_kill;
+      if sv_known && j = sv then kput t inw sp "S+" (knot fire)
+      else kput t inw sp "S+" (knot fresh_kill)
+    end
+  done;
+  (* Anti-tokens reaching the mux output wait for a token to cancel. *)
+  kput t out sm "S-" (knot v_out)
+
+let eval_shared t i sched =
+  let g = Scheduler.predict sched in
+  let k = Array.unsafe_get t.ins_n i in
+  for j = 0 to k - 1 do
+    if j <> g then set_bool t (out_w t i j) vp "V+" false
+  done;
+  let in_g = in_w t i g and out_g = out_w t i g in
+  let hint = Array.unsafe_get t.selw i in
+  let hint_v = if hint >= 0 && g = 0 then get t hint vp else 3 in
+  kput t out_g vp "V+" (kand (get t in_g vp) hint_v);
+  (* Same pure-function skip as [eval_join]: once driven, a re-eval
+     would recompute the identical payload. *)
+  if get t in_g vp = 3 && Array.unsafe_get t.dtag out_g = 0 then
+    (match data_opt t in_g with
+     | Some v -> set_data t out_g (t.fns.(i) [ v ])
+     | None -> ());
+  let fire = kand (get t out_g vp) (korn (get t out_g vm) (get t out_g sp)) in
+  kput t in_g sp "S+" (knot fire);
+  if hint >= 0 then begin
+    set_bool t hint vm "V-" false;
+    if g = 0 then kput t hint sp "S+" (knot fire)
+    else set_bool t hint sp "S+" true
+  end;
+  for j = 0 to k - 1 do
+    let inw = in_w t i j and out = out_w t i j in
+    if j = g then
+      kput t inw vm "V-" (kandn (get t out vm) (get t out vp))
+    else begin
+      kput t inw vm "V-" (get t out vm);
+      kput t inw sp "S+" (knot (get t out vm))
+    end;
+    kput t out sm "S-"
+      (kand (knot (get t out vp)) (kandn (get t inw sm) (get t inw vp)))
+  done
+
+(* Pairing note: in the busy/empty branches the last write of the
+   original sequence was [inw.sp], so the reverse-order walk touched
+   [inw] before [out] — the pair order below keeps that. *)
+let eval_varlat t i (st : Instance.varlat_state) =
+  let inw = in_w t i 0 and out = out_w t i 0 in
+  match st.Instance.pipe with
+  | Some (v, 0) ->
+    set_bool t inw vm "V-" false;
+    set_bool2 t out sm "S-" false vp "V+" true;
+    set_data t out v;
+    kput t inw sp "S+" (get t out sp)
+  | Some (_, _) ->
+    set_bool2 t out sm "S-" true vp "V+" false;
+    set_bool2 t inw vm "V-" false sp "S+" true
+  | None ->
+    set_bool2 t out sm "S-" true vp "V+" false;
+    set_bool2 t inw vm "V-" false sp "S+" false
+
+let eval_node t i =
+  Array.unsafe_set t.pn i (Array.unsafe_get t.pn i + 1);
+  t.pending_evals <- t.pending_evals + 1;
+  Array.unsafe_set t.cycle_evals i (Array.unsafe_get t.cycle_evals i + 1);
+  t.last_eval <- i;
+  match t.states.(i) with
+  | Instance.S_source st -> eval_source t i st
+  | Instance.S_sink st -> eval_sink t i st
+  | Instance.S_eb st -> eval_eb t i st
+  | Instance.S_eb0 st -> eval_eb0 t i st
+  | Instance.S_fork st -> eval_fork t i st
+  | Instance.S_emux st -> eval_emux t i st
+  | Instance.S_shared sched -> eval_shared t i sched
+  | Instance.S_varlat st -> eval_varlat t i st
+  | Instance.S_stateless ->
+    if Array.unsafe_get t.jn i = 1 then eval_join1 t i else eval_join t i
+
+(* ------------------------------------------------------------------ *)
+(* Settle driver: the exact [settle_levelized] algorithm on the flat
+   state — an acyclic node settles in one evaluation; inside a cyclic
+   region a node re-evaluates only when a wire it reads was written
+   since its last evaluation.                                          *)
+
+let clear_progress t = t.written_n <- 0
+
+let settle_loop t =
+  let sched = t.schedule in
+  let order = sched.Schedule.order in
+  let comp_of = sched.Schedule.comp_of
+  and src_of = sched.Schedule.src_of
+  and readers_f = sched.Schedule.readers_f
+  and readers_b = sched.Schedule.readers_b in
+  let queue = t.queue and dirty = t.dirty and written = t.written in
+  let qmask = Array.length queue - 1 in
+  for oi = 0 to Array.length order - 1 do
+    match Array.unsafe_get order oi with
+    | Schedule.Single i ->
+      clear_progress t;
+      eval_node t i
+    | Schedule.Scc members ->
+      let comp = comp_of.(members.(0)) in
+      t.qh <- 0;
+      t.qt <- 0;
+      Array.iter
+        (fun i ->
+           dirty.(i) <- true;
+           queue.(t.qt) <- i;
+           t.qt <- (t.qt + 1) land qmask)
+        members;
+      (* Monotone write-once wires bound the iteration; the budget is a
+         safety valve against a non-monotone eval bug. *)
+      let budget =
+        ref ((Array.length members * ((5 * t.nchan) + 2)) + 16)
+      in
+      while t.qh <> t.qt do
+        decr budget;
+        if !budget < 0 then raise Did_not_converge;
+        let i = Array.unsafe_get queue t.qh in
+        t.qh <- (t.qh + 1) land qmask;
+        Array.unsafe_set dirty i false;
+        clear_progress t;
+        eval_node t i;
+        if t.written_n > 0 then
+          (* Most-recent-first, like the [Wires.written] cons list. *)
+          for wi = t.written_n - 1 downto 0 do
+            let c = Array.unsafe_get written wi in
+            let readers =
+              if Array.unsafe_get src_of c = i then
+                Array.unsafe_get readers_f c
+              else Array.unsafe_get readers_b c
+            in
+            for ri = 0 to Array.length readers - 1 do
+              let r = Array.unsafe_get readers ri in
+              if
+                Array.unsafe_get comp_of r = comp
+                && (not (Array.unsafe_get dirty r))
+                && r <> i
+              then begin
+                Array.unsafe_set dirty r true;
+                Array.unsafe_set queue t.qt r;
+                t.qt <- (t.qt + 1) land qmask
+              end
+            done
+          done
+      done
+  done
+
+(* The eval total is folded into the profile once per settle — on both
+   the normal and the exceptional exit, so error-path metrics match the
+   record backends' per-eval accounting. *)
+let settle t =
+  t.pending_evals <- 0;
+  match settle_loop t with
+  | () ->
+    Profile.add_evals t.profile t.pending_evals;
+    t.pending_evals <- 0
+  | exception e ->
+    Profile.add_evals t.profile t.pending_evals;
+    t.pending_evals <- 0;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Cycle bookkeeping and observation                                   *)
+
+let reset t =
+  Array.fill t.ctrl 0 (Array.length t.ctrl) 0;
+  Array.fill t.dtag 0 (Array.length t.dtag) 0;
+  t.written_n <- 0
+
+let clear_overrides t =
+  t.forced_any <- false;
+  Array.fill t.force 0 (Array.length t.force) 0;
+  Array.fill t.ov_map 0 (Array.length t.ov_map) None;
+  Array.fill t.ov_subst 0 (Array.length t.ov_subst) None
+
+let set_override t c (ov : Wires.override) =
+  let pack o off acc =
+    match o with
+    | None -> acc
+    | Some b -> acc lor ((if b then 3 else 2) lsl off)
+  in
+  let f =
+    pack ov.Wires.force_v_plus vp 0
+    |> pack ov.Wires.force_s_plus sp
+    |> pack ov.Wires.force_v_minus vm
+    |> pack ov.Wires.force_s_minus sm
+  in
+  t.force.(c) <- f;
+  if f <> 0 then t.forced_any <- true;
+  t.ov_map.(c) <- ov.Wires.map_data;
+  t.ov_subst.(c) <- ov.Wires.subst_data;
+  (* Seed forced bits so readers see them before (and regardless of) the
+     driving node's write — mirrors [Wires.set_override]: no progress or
+     written-log bookkeeping. *)
+  let seed off =
+    let fc = (f lsr off) land 3 in
+    if fc <> 0 && (t.ctrl.(c) lsr off) land 3 = 0 then
+      t.ctrl.(c) <- t.ctrl.(c) lor (fc lsl off)
+  in
+  seed vp;
+  seed sp;
+  seed vm;
+  seed sm
+
+let unknown_count t =
+  let n = ref 0 in
+  for c = 0 to t.nchan - 1 do
+    let x = t.ctrl.(c) in
+    if (x lsr vp) land 2 = 0 then incr n;
+    if (x lsr sp) land 2 = 0 then incr n;
+    if (x lsr vm) land 2 = 0 then incr n;
+    if (x lsr sm) land 2 = 0 then incr n
+  done;
+  !n
+
+let undetermined t c =
+  let x = t.ctrl.(c) in
+  (x lsr vp) land 2 = 0
+  || (x lsr sp) land 2 = 0
+  || (x lsr vm) land 2 = 0
+  || (x lsr sm) land 2 = 0
+
+(* Channels in the write log, most-recent-first (error paths only). *)
+let written_channels t =
+  let rec go wi acc =
+    if wi >= t.written_n then acc
+    else go (wi + 1) (t.written.(wi) :: acc)
+  in
+  go 0 []
+
+let last_eval t = t.last_eval
+
+let to_signal t c =
+  let x = t.ctrl.(c) in
+  let v_plus = (x lsr vp) land 3 = 3 in
+  { Signal.v_plus;
+    s_plus = (x lsr sp) land 3 = 3;
+    v_minus = (x lsr vm) land 3 = 3;
+    s_minus = (x lsr sm) land 3 = 3;
+    data = (if v_plus then data_opt t c else None) }

@@ -1,0 +1,68 @@
+open Elastic_kernel
+
+(** Flat-arena evaluator for the combinational phase of a cycle.
+
+    Channel state lives in preallocated flat arrays — four 2-bit Kleene
+    codes packed per channel into an [int] control word, data split into
+    an unboxed int array, an [int64] {!Bigarray} for word buses and a
+    boxed [Value.t] spill array — and the levelized schedule is
+    compiled to flat index arrays walked by a tight loop.
+
+    The arena executes the {e identical} algorithm as the record
+    engine's [Levelized] mode (same evaluation order, dirty-set
+    propagation and budgets), so eval counts, settle passes, traces and
+    metrics are byte-identical across the two backends; the speedup
+    comes from removing allocation and indirection.  [Engine] owns the
+    mode dispatch, error rendering and everything outside the settle
+    loop; node register state stays in {!Instance} and is shared. *)
+
+type t
+
+(** Raised when a cyclic region exhausts its iteration budget; the
+    engine converts it into the same E110 error [Levelized] raises. *)
+exception Did_not_converge
+
+(** [create ~schedule ~profile ~cycle_evals ~nchan specs] compiles the
+    arena.  [specs] lists, per dense node index, the instance and its
+    dense input/sel/output channel indices (the engine's compiled
+    order); [profile] and [cycle_evals] are the engine's counters,
+    updated exactly as the record backends update them. *)
+val create :
+  schedule:Schedule.t ->
+  profile:Profile.t ->
+  cycle_evals:int array ->
+  nchan:int ->
+  (Instance.t * int array * int option * int array) array ->
+  t
+
+(** Clear all wire codes and data tags for a new cycle (overrides
+    persist, mirroring [Wires.reset]). *)
+val reset : t -> unit
+
+(** Install a fault-injection override on a dense channel index, seeding
+    forced bits (mirrors [Wires.set_override]). *)
+val set_override : t -> int -> Wires.override -> unit
+
+val clear_overrides : t -> unit
+
+(** Run the combinational phase to its fixed point.
+    @raise Wires.Conflict on a contradictory wire write.
+    @raise Did_not_converge when an SCC budget is exhausted. *)
+val settle : t -> unit
+
+(** Control bits still unknown after [settle] (combinational cycle). *)
+val unknown_count : t -> int
+
+(** Does the channel have an undetermined control field? *)
+val undetermined : t -> int -> bool
+
+(** Channels written during the last evaluation, most-recent-first —
+    the non-convergence provenance set (error paths only). *)
+val written_channels : t -> int list
+
+(** Dense index of the node whose evaluation raised (error paths). *)
+val last_eval : t -> int
+
+(** Resolved signal of a dense channel index, mirroring
+    [Wires.to_signal] (including the substitute-payload fallback). *)
+val to_signal : t -> int -> Signal.t

@@ -31,7 +31,27 @@ let error_to_string e = Fmt.str "%a" pp_error e
 
 type injector = cycle:int -> Netlist.channel_id -> Wires.override option
 
-type eval_mode = Levelized | Reference
+type eval_mode = Levelized | Reference | Arena
+
+let mode_name = function
+  | Levelized -> "levelized"
+  | Reference -> "reference"
+  | Arena -> "arena"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "levelized" -> Some Levelized
+  | "reference" -> Some Reference
+  | "arena" -> Some Arena
+  | _ -> None
+
+(* The CI matrix forces the arena backend over the whole test tree by
+   exporting ELASTIC_EVAL_MODE=arena; an unrecognised value falls back
+   to the default rather than failing every engine creation. *)
+let default_mode () =
+  match Sys.getenv_opt "ELASTIC_EVAL_MODE" with
+  | None -> Levelized
+  | Some s -> Option.value (mode_of_string s) ~default:Levelized
 
 type compiled = {
   inst : Instance.t;
@@ -73,6 +93,7 @@ type t = {
   mutable injected_rev : int list;  (* dense indices overridden this cycle
                                        (tracked only while observed) *)
   clock : Clock.t;
+  arena : Arena.t option;  (* flat settle backend ([mode = Arena] only) *)
 }
 
 let dense_index t cid =
@@ -81,8 +102,9 @@ let dense_index t cid =
   | None ->
     fail ~cycle:t.cycle ~channel:cid (Fmt.str "unknown channel id %d" cid)
 
-let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
-    ?max_passes ?max_cycles ?(clock = Clock.monotonic) net =
+let create ?(monitor = true) ?(liveness_bound = 64) ?mode ?max_passes
+    ?max_cycles ?(clock = Clock.monotonic) net =
+  let mode = match mode with Some m -> m | None -> default_mode () in
   (match max_cycles with
    | Some n when n < 0 -> invalid_arg "Engine.create: negative max_cycles"
    | Some _ | None -> ());
@@ -173,13 +195,27 @@ let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
      once, so [5 * nchan] passes always suffice; the slack covers the
      final no-progress pass on tiny netlists. *)
   let default_max_passes = (5 * Array.length chans) + 16 in
+  let schedule = Schedule.build net in
+  let profile = Profile.create ~n_nodes:(Array.length compiled) in
+  let cycle_evals = Array.make (max (Array.length compiled) 1) 0 in
+  let arena =
+    match mode with
+    | Arena ->
+      Some
+        (Arena.create ~schedule ~profile ~cycle_evals
+           ~nchan:(Array.length chans)
+           (Array.map
+              (fun c -> (c.inst, c.in_ch, c.sel_ch, c.out_ch))
+              compiled))
+    | Levelized | Reference -> None
+  in
   { net; ws; compiled; chans; ch_index; monitors; liveness_bound;
     mode;
-    schedule = Schedule.build net;
-    profile = Profile.create ~n_nodes:(Array.length compiled);
+    schedule;
+    profile;
     max_passes = Option.value max_passes ~default:default_max_passes;
     max_cycles;
-    cycle_evals = Array.make (max (Array.length compiled) 1) 0;
+    cycle_evals;
     dirty = Array.make (max (Array.length compiled) 1) false;
     cycle = 0;
     last_signals = Array.make (Array.length chans) Signal.idle;
@@ -206,7 +242,8 @@ let create ?(monitor = true) ?(liveness_bound = 64) ?(mode = Levelized)
            | Netlist.Func _ | Netlist.Fork _ | Netlist.Mux _
            | Netlist.Varlat _ -> false)
         chans;
-    starvation = [] }
+    starvation = [];
+    arena }
 
 let netlist t = t.net
 
@@ -218,31 +255,40 @@ let profile t = t.profile
 
 let schedule t = t.schedule
 
+let conflict_error t ~wire ~field =
+  let ch = t.chans.(wire) in
+  fail ~cycle:t.cycle ~node:ch.Netlist.src.Netlist.ep_node
+    ~channel:ch.Netlist.ch_id
+    (Fmt.str "conflicting write to %s of channel %s" field
+       ch.Netlist.ch_name)
+
+let invariant_error t ~node e =
+  (* Internal node invariants can only break under injected faults;
+     report them with provenance instead of a bare backtrace. *)
+  fail ~cycle:t.cycle ~node
+    (Fmt.str "node invariant violated during evaluation: %s"
+       (Printexc.to_string e))
+
 let eval_node t i =
   let c = t.compiled.(i) in
   Profile.note_eval t.profile i;
   t.cycle_evals.(i) <- t.cycle_evals.(i) + 1;
   try Instance.eval t.ws c.inst with
-  | Wires.Conflict { wire; field } ->
-    let ch = t.chans.(wire) in
-    fail ~cycle:t.cycle ~node:ch.Netlist.src.Netlist.ep_node
-      ~channel:ch.Netlist.ch_id
-      (Fmt.str "conflicting write to %s of channel %s" field
-         ch.Netlist.ch_name)
+  | Wires.Conflict { wire; field } -> conflict_error t ~wire ~field
   | (Assert_failure _ | Invalid_argument _) as e ->
-    (* Internal node invariants can only break under injected
-       faults; report them with provenance instead of a bare
-       backtrace. *)
-    fail ~cycle:t.cycle ~node:(Instance.node c.inst).Netlist.id
-      (Fmt.str "node invariant violated during evaluation: %s"
-         (Printexc.to_string e))
+    invariant_error t ~node:(Instance.node c.inst).Netlist.id e
 
 (* Name the channels whose wires changed during the final pass — the
    diff of the last two passes is exactly the non-converging set.
    "E110" is the settle/cycle-budget timeout code (see check_determined
    for the E102 convention on quoting lint codes here). *)
 let non_convergence_error t ~passes =
-  let changing = List.sort_uniq compare (Wires.written t.ws) in
+  let written =
+    match t.arena with
+    | Some ar -> Arena.written_channels ar
+    | None -> Wires.written t.ws
+  in
+  let changing = List.sort_uniq compare written in
   let names =
     List.map (fun i -> t.chans.(i).Netlist.ch_name) changing
   in
@@ -329,13 +375,21 @@ let settle_levelized t =
     sched.Schedule.order
 
 let check_determined t =
-  if Wires.unknown_count t.ws > 0 then begin
+  let unknown =
+    match t.arena with
+    | Some ar -> Arena.unknown_count ar
+    | None -> Wires.unknown_count t.ws
+  in
+  if unknown > 0 then begin
     let undetermined =
       Array.to_list t.chans
       |> List.filteri (fun i _ ->
-          let w = Wires.wire t.ws i in
-          Wires.v_plus w = None || Wires.s_plus w = None
-          || Wires.v_minus w = None || Wires.s_minus w = None)
+          match t.arena with
+          | Some ar -> Arena.undetermined ar i
+          | None ->
+            let w = Wires.wire t.ws i in
+            Wires.v_plus w = None || Wires.s_plus w = None
+            || Wires.v_minus w = None || Wires.s_minus w = None)
     in
     let names =
       List.map (fun (c : Netlist.channel) -> c.Netlist.ch_name) undetermined
@@ -365,7 +419,9 @@ let injected t =
 
 let install_overrides t =
   if t.overrides_active then begin
-    Wires.clear_overrides t.ws;
+    (match t.arena with
+     | Some ar -> Arena.clear_overrides ar
+     | None -> Wires.clear_overrides t.ws);
     t.overrides_active <- false
   end;
   match t.injector with
@@ -379,7 +435,9 @@ let install_overrides t =
       (fun i (c : Netlist.channel) ->
          match f ~cycle:t.cycle c.Netlist.ch_id with
          | Some ov ->
-           Wires.set_override t.ws i ov;
+           (match t.arena with
+            | Some ar -> Arena.set_override ar i ov
+            | None -> Wires.set_override t.ws i ov);
            t.overrides_active <- true;
            if log then t.injected_rev <- i :: t.injected_rev
          | None -> ())
@@ -399,9 +457,23 @@ let check_cycle_budget t =
          t.cycle budget)
   | Some _ | None -> ()
 
+(* Arena settle: the same exceptions as the record backends, mapped to
+   the same errors ([eval_node] catches per node; here the evaluating
+   node is recovered from the arena's last-eval cursor). *)
+let settle_arena t ar =
+  try Arena.settle ar with
+  | Wires.Conflict { wire; field } -> conflict_error t ~wire ~field
+  | Arena.Did_not_converge -> non_convergence_error t ~passes:t.max_passes
+  | (Assert_failure _ | Invalid_argument _) as e ->
+    invariant_error t
+      ~node:(Instance.node t.compiled.(Arena.last_eval ar).inst).Netlist.id
+      e
+
 let step ?(choices = fun _ -> None) t =
   check_cycle_budget t;
-  Wires.reset t.ws;
+  (match t.arena with
+   | Some ar -> Arena.reset ar
+   | None -> Wires.reset t.ws);
   t.injected_rev <- [];
   install_overrides t;
   Array.iter
@@ -411,16 +483,26 @@ let step ?(choices = fun _ -> None) t =
     t.compiled;
   Array.fill t.cycle_evals 0 (Array.length t.cycle_evals) 0;
   let t0 = t.clock () in
-  (match t.mode with
-   | Levelized -> settle_levelized t
-   | Reference -> fixpoint t);
+  (match t.arena with
+   | Some ar -> settle_arena t ar
+   | None ->
+     (match t.mode with
+      | Levelized -> settle_levelized t
+      | Reference -> fixpoint t
+      | Arena -> assert false));
+  (* Stop the settle timer before the determinism check and pass fold so
+     the recorded seconds cover only the settle phase itself — the E9
+     speedup record compares backends on this number. *)
+  let settle_seconds = Clock.seconds_between t0 (t.clock ()) in
   check_determined t;
   let passes = Array.fold_left max 0 t.cycle_evals in
-  Profile.record_cycle t.profile ~passes
-    ~seconds:(Clock.seconds_between t0 (t.clock ()));
+  Profile.record_cycle t.profile ~passes ~seconds:settle_seconds;
   let n = Array.length t.chans in
   let signals =
-    Array.init n (fun i -> Wires.to_signal (Wires.wire t.ws i))
+    match t.arena with
+    | Some ar -> Array.init n (fun i -> Arena.to_signal ar i)
+    | None ->
+      Array.init n (fun i -> Wires.to_signal (Wires.wire t.ws i))
   in
   let events = Array.map Signal.events signals in
   t.last_signals <- signals;

@@ -60,14 +60,33 @@ type t
     [Reference] is the original blind fixpoint — every node is
     re-evaluated in every pass until no wire changes.  It is kept as the
     oracle for differential testing; both modes reach the same unique
-    fixed point (node equations are monotone over the 3-valued wires). *)
-type eval_mode = Levelized | Reference
+    fixed point (node equations are monotone over the 3-valued wires).
+
+    [Arena] runs the levelized algorithm on the flat preallocated
+    arena backend ({!Arena}): packed integer wire codes, Bigarray data
+    buses and flat instruction arrays instead of per-channel records
+    and closures.  It is byte-identical to [Levelized] in traces,
+    metrics, eval counts and error behaviour (the three-way
+    differential suite enforces this), and is the fast path for large
+    designs. *)
+type eval_mode = Levelized | Reference | Arena
+
+(** Lowercase backend name: ["levelized"], ["reference"], ["arena"]. *)
+val mode_name : eval_mode -> string
+
+(** Inverse of {!mode_name} (case-insensitive); [None] on anything
+    else. *)
+val mode_of_string : string -> eval_mode option
 
 (** [create netlist] compiles and validates the netlist.
 
     @param monitor enable protocol monitors (default [true]).
     @param liveness_bound watchdog threshold in cycles (default [64]).
-    @param mode combinational evaluation strategy (default [Levelized]).
+    @param mode combinational evaluation strategy.  When omitted, the
+    [ELASTIC_EVAL_MODE] environment variable picks the default
+    ([levelized], [reference] or [arena] — the CI matrix uses this to
+    force the arena backend over the whole test tree); unset or
+    unrecognised, the default is [Levelized].
     @param max_passes cap on global fixpoint passes in [Reference] mode
     before {!step} raises the non-convergence error (code ["E110"])
     naming the channels that were still changing (default

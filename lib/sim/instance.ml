@@ -28,6 +28,10 @@ let put setter ws w = function Some b -> setter ws w b | None -> ()
 
 type source_state = {
   sspec : Netlist.source_spec;
+  svals : Value.t array;
+      (* [Stream] payloads as an array: [source_peek] runs every cycle
+         (and on every settle evaluation), so the list's O(idx) nth is
+         a hot-path cost shared by every backend.  Empty otherwise. *)
   srng : Rng.t;
   mutable idx : int;
   mutable pending_kill : int;
@@ -75,6 +79,8 @@ type t = {
 
 let node t = t.node
 
+let state t = t.state
+
 let make_state (n : Netlist.node) =
   match n.Netlist.kind with
   | Netlist.Source sspec ->
@@ -83,8 +89,14 @@ let make_state (n : Netlist.node) =
       | Netlist.Random_rate { seed; _ } -> seed
       | Netlist.Stream _ | Netlist.Counter _ | Netlist.Nondet _ -> 1
     in
+    let svals =
+      match sspec with
+      | Netlist.Stream l -> Array.of_list l
+      | Netlist.Counter _ | Netlist.Random_rate _ | Netlist.Nondet _ ->
+        [||]
+    in
     S_source
-      { sspec; srng = Rng.create ~seed; idx = 0; pending_kill = 0;
+      { sspec; svals; srng = Rng.create ~seed; idx = 0; pending_kill = 0;
         retry = false; offering = false }
   | Netlist.Sink kspec ->
     let seed =
@@ -133,7 +145,9 @@ let scheduler t =
 
 let source_peek st =
   match st.sspec with
-  | Netlist.Stream l -> List.nth_opt l st.idx
+  | Netlist.Stream _ ->
+    if st.idx < Array.length st.svals then Some st.svals.(st.idx)
+    else None
   | Netlist.Counter { start; step } ->
     Some (Value.Int (start + (step * st.idx)))
   | Netlist.Random_rate _ -> Some (Value.Int st.idx)

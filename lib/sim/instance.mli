@@ -23,6 +23,52 @@ type choice =
   | Stall of bool  (** Sink: assert stop this cycle? *)
   | Predict of int  (** Shared-module scheduler decision. *)
 
+(** {1 Register state}
+
+    The clocked state of each node kind, exposed so the flat-arena
+    evaluator ({!Arena}) can re-implement the eval equations over packed
+    integer wire codes while sharing the node registers with this
+    module.  By convention only {!begin_cycle}, {!clock} and {!restore}
+    mutate these records; evaluators treat them as read-only. *)
+
+type source_state = {
+  sspec : Netlist.source_spec;
+  svals : Value.t array;  (** [Stream] payloads, for O(1) peeking. *)
+  srng : Rng.t;
+  mutable idx : int;
+  mutable pending_kill : int;
+  mutable retry : bool;
+  mutable offering : bool;
+}
+
+type sink_state = {
+  kspec : Netlist.sink_spec;
+  krng : Rng.t;
+  mutable cyc : int;
+  mutable stalling : bool;
+}
+
+type eb_state = { mutable n : int; mutable queue : Value.t list }
+
+type eb0_state = { mutable full : bool; mutable stored : Value.t }
+
+type fork_state = { done_ : bool array; pend : int array }
+
+type emux_state = { q : int array }
+
+type varlat_state = { mutable pipe : (Value.t * int) option }
+
+type state =
+  | S_stateless
+  | S_source of source_state
+  | S_sink of sink_state
+  | S_eb of eb_state
+  | S_eb0 of eb0_state
+  | S_fork of fork_state
+  | S_emux of emux_state
+  | S_shared of Scheduler.t
+  | S_varlat of varlat_state
+
 type t
 
 (** [create node ~ins ~sel ~outs] builds the runtime instance; wire arrays
@@ -32,6 +78,12 @@ val create :
   outs:Wires.wire array -> t
 
 val node : t -> Netlist.node
+
+(** The node's register state (shared with the arena evaluator). *)
+val state : t -> state
+
+(** Next value a source would offer (its stream head), if any. *)
+val source_peek : source_state -> Value.t option
 
 (** Does this instance consume a nondeterministic choice each cycle? *)
 val is_nondet : t -> bool

@@ -35,6 +35,14 @@ let note_eval t i =
   t.per_node.(i) <- t.per_node.(i) + 1;
   t.evals <- t.evals + 1
 
+(* Batched accounting for the flat-arena settle loop: it bumps the
+   per-node counters in place and folds the eval total in once per
+   settle, keeping [evals] = sum of [per_node] at every observation
+   point outside the loop. *)
+let per_node_array t = t.per_node
+
+let add_evals t n = t.evals <- t.evals + n
+
 let record_cycle t ~passes ~seconds =
   t.cycles <- t.cycles + 1;
   t.settle_seconds <- t.settle_seconds +. seconds;

@@ -19,6 +19,15 @@ val reset : t -> unit
 (** One evaluation of node [i]. *)
 val note_eval : t -> int -> unit
 
+(** Batched recording for the flat-arena settle loop: the per-node
+    counter array, updated in place by the caller, paired with a bulk
+    fold into the eval total once per settle.  Callers must keep
+    [evals] equal to the sum of the per-node counters at every
+    observation point outside the loop. *)
+val per_node_array : t -> int array
+
+val add_evals : t -> int -> unit
+
 (** End of one settle phase: the cycle's pass count (the most times any
     single node was evaluated) and its wall-clock duration. *)
 val record_cycle : t -> passes:int -> seconds:float -> unit

@@ -17,6 +17,7 @@ let () =
       ("shell", Test_shell.suite);
       ("sim.property", Test_sim_property.suite);
       ("sim.equiv", Test_engine_equiv.suite);
+      ("sim.arena", Test_arena.suite);
       ("golden", Test_golden.suite);
       ("trace", Test_trace.suite);
       ("sim.more", Test_sim_more.suite);

@@ -3,14 +3,23 @@ open Elastic_netlist
 open Elastic_sim
 open Elastic_core
 open Elastic_datapath
+open Elastic_trace
+open Elastic_metrics
 open Helpers
 
-(* Differential testing of the levelized scheduler (the default
-   evaluation mode) against the reference fixpoint it replaced: on every
-   design — the paper's figures and examples, random pipelines and mux
-   diamonds, with and without fault injection — both modes must produce
-   bit-identical signal traces, sink streams, statistics counters and
-   final register state. *)
+(* Differential testing of the three evaluation backends: the reference
+   fixpoint, the levelized scheduler and the flat-arena evaluator.  On
+   every design — the paper's figures and examples, random pipelines,
+   mux diamonds and word-width datapaths, with and without fault
+   injection — all modes must produce bit-identical signal traces, sink
+   streams, statistics counters, rendered trace event streams, metrics
+   snapshots and final register state.
+
+   The one sanctioned divergence: the reference fixpoint re-evaluates
+   every node every pass, so its eval counters (node evals, settle
+   passes, convergence retries) exceed the scheduled backends'.  Those
+   metric families are filtered from the reference comparison only; the
+   levelized/arena comparison is byte-exact over the full render. *)
 
 let violation_keys eng =
   List.map
@@ -27,13 +36,41 @@ let sinks_of net =
        | Netlist.Varlat _ -> None)
     (Netlist.nodes net)
 
-(* Run both modes in lockstep, comparing every channel's resolved signal
-   on every cycle, then the cumulative observations.  Fault plans are
-   stateful, so each engine gets its own identical plan.  If one mode
-   raises, the other must raise the same error on the same cycle. *)
-let run_pair ~name ?(cycles = 200) ?faults net =
+(* Metric families whose values depend on how many times nodes were
+   evaluated — the only quantities the reference fixpoint is allowed to
+   differ on. *)
+let eval_cost_family name =
+  Helpers.contains name "node_evals"
+  || Helpers.contains name "settle_passes"
+  || Helpers.contains name "convergence_retry"
+
+let render_samples ?(keep = fun _ -> true) samples =
+  Prometheus.render
+    (List.filter (fun (s : Metrics.sample) -> keep s.Metrics.m_name) samples)
+
+type harnessed = {
+  h_mode : Engine.eval_mode;
+  h_eng : Engine.t;
+  h_tracer : Tracer.t;
+  h_sampler : Sampler.t;
+  h_step : unit -> unit;
+}
+
+(* Run all three modes in lockstep, comparing every channel's resolved
+   signal on every cycle, then the cumulative observations, the
+   rendered trace event stream and the metrics snapshot.  Fault plans
+   are stateful, so each engine gets its own identical plan.  If one
+   mode raises, the others must raise the same error on the same
+   cycle.  Engines run on deterministic tick clocks, so even the
+   settle-seconds gauges must agree byte-for-byte. *)
+let run_trio ~name ?(cycles = 200) ?faults net =
   let make mode =
-    let eng = Engine.create ~mode net in
+    let eng =
+      Engine.create ~mode ~clock:(Clock.ticker ~step_ns:100L) net
+    in
+    let tracer = Tracer.attach ~capacity:1_000_000 eng in
+    let sampler = Sampler.create eng in
+    Engine.set_observer eng (Some (Sampler.observe sampler));
     let step =
       match faults with
       | None -> fun () -> Engine.step eng
@@ -46,81 +83,118 @@ let run_pair ~name ?(cycles = 200) ?faults net =
                 nid);
           Elastic_fault.Fault.observe plan eng
     in
-    (eng, step)
+    { h_mode = mode; h_eng = eng; h_tracer = tracer; h_sampler = sampler;
+      h_step = step }
   in
-  let el, stepl = make Engine.Levelized in
-  let er, stepr = make Engine.Reference in
+  let lev = make Engine.Levelized in
+  let others = [ make Engine.Reference; make Engine.Arena ] in
   let chans = Netlist.channels net in
-  let safe step =
+  let safe h =
     try
-      step ();
+      h.h_step ();
       None
     with Engine.Simulation_error e -> Some (Engine.error_to_string e)
   in
   let rec loop cyc =
     if cyc > cycles then false
     else
-      match (safe stepl, safe stepr) with
-      | None, None ->
+      match safe lev with
+      | None ->
         List.iter
-          (fun (c : Netlist.channel) ->
-             let sl = Engine.signal el c.Netlist.ch_id
-             and sr = Engine.signal er c.Netlist.ch_id in
-             if not (Signal.equal sl sr) then
-               Alcotest.failf
-                 "%s: cycle %d, channel %s: levelized %a but reference %a"
-                 name cyc c.Netlist.ch_name Signal.pp sl Signal.pp sr)
-          chans;
+          (fun o ->
+             match safe o with
+             | Some b ->
+               Alcotest.failf "%s: cycle %d: only %s raised: %s" name cyc
+                 (Engine.mode_name o.h_mode) b
+             | None ->
+               List.iter
+                 (fun (c : Netlist.channel) ->
+                    let sl = Engine.signal lev.h_eng c.Netlist.ch_id
+                    and so = Engine.signal o.h_eng c.Netlist.ch_id in
+                    if not (Signal.equal sl so) then
+                      Alcotest.failf
+                        "%s: cycle %d, channel %s: levelized %a but %s %a"
+                        name cyc c.Netlist.ch_name Signal.pp sl
+                        (Engine.mode_name o.h_mode) Signal.pp so)
+                 chans)
+          others;
         loop (cyc + 1)
-      | Some a, Some b ->
-        Alcotest.(check string)
-          (Fmt.str "%s: identical failure at cycle %d" name cyc)
-          b a;
+      | Some a ->
+        List.iter
+          (fun o ->
+             match safe o with
+             | Some b ->
+               Alcotest.(check string)
+                 (Fmt.str "%s: %s fails identically at cycle %d" name
+                    (Engine.mode_name o.h_mode) cyc)
+                 a b
+             | None ->
+               Alcotest.failf "%s: cycle %d: only levelized raised: %s"
+                 name cyc a)
+          others;
         true
-      | Some a, None ->
-        Alcotest.failf "%s: cycle %d: only levelized raised: %s" name cyc a
-      | None, Some b ->
-        Alcotest.failf "%s: cycle %d: only reference raised: %s" name cyc b
   in
   let crashed = loop 1 in
-  if not crashed then begin
+  if not crashed then
     List.iter
-      (fun (c : Netlist.channel) ->
-         let id = c.Netlist.ch_id in
-         Alcotest.(check int)
-           (Fmt.str "%s: delivered on %s" name c.Netlist.ch_name)
-           (Engine.delivered er id) (Engine.delivered el id);
-         Alcotest.(check int)
-           (Fmt.str "%s: killed on %s" name c.Netlist.ch_name)
-           (Engine.killed er id) (Engine.killed el id);
-         Alcotest.(check (triple int int int))
-           (Fmt.str "%s: activity on %s" name c.Netlist.ch_name)
-           (Engine.activity er id) (Engine.activity el id))
-      chans;
-    List.iter
-      (fun snk ->
-         let entries eng =
-           List.map
-             (fun (e : Transfer.entry) -> (e.Transfer.cycle, e.Transfer.value))
-             (Transfer.entries (Engine.sink_stream eng snk))
+      (fun o ->
+         let mode = Engine.mode_name o.h_mode in
+         let el = lev.h_eng and eo = o.h_eng in
+         List.iter
+           (fun (c : Netlist.channel) ->
+              let id = c.Netlist.ch_id in
+              Alcotest.(check int)
+                (Fmt.str "%s: %s: delivered on %s" name mode
+                   c.Netlist.ch_name)
+                (Engine.delivered el id) (Engine.delivered eo id);
+              Alcotest.(check int)
+                (Fmt.str "%s: %s: killed on %s" name mode c.Netlist.ch_name)
+                (Engine.killed el id) (Engine.killed eo id);
+              Alcotest.(check (triple int int int))
+                (Fmt.str "%s: %s: activity on %s" name mode
+                   c.Netlist.ch_name)
+                (Engine.activity el id) (Engine.activity eo id))
+           chans;
+         List.iter
+           (fun snk ->
+              let entries eng =
+                List.map
+                  (fun (e : Transfer.entry) ->
+                     (e.Transfer.cycle, e.Transfer.value))
+                  (Transfer.entries (Engine.sink_stream eng snk))
+              in
+              Alcotest.(check (list (pair int value)))
+                (Fmt.str "%s: %s: sink stream" name mode)
+                (entries el) (entries eo))
+           (sinks_of net);
+         Alcotest.(check (list (pair string string)))
+           (Fmt.str "%s: %s: protocol violations" name mode)
+           (violation_keys el) (violation_keys eo);
+         Alcotest.(check string)
+           (Fmt.str "%s: %s: final register state" name mode)
+           (Engine.state_key el) (Engine.state_key eo);
+         (* The rendered event stream is backend-independent: compare
+            the full JSONL text byte-for-byte. *)
+         Alcotest.(check string)
+           (Fmt.str "%s: %s: trace event stream" name mode)
+           (Jsonl.to_string net (Tracer.events lev.h_tracer))
+           (Jsonl.to_string net (Tracer.events o.h_tracer));
+         let keep =
+           match o.h_mode with
+           | Engine.Reference -> fun n -> not (eval_cost_family n)
+           | Engine.Levelized | Engine.Arena -> fun _ -> true
          in
-         Alcotest.(check (list (pair int value)))
-           (Fmt.str "%s: sink stream" name)
-           (entries er) (entries el))
-      (sinks_of net);
-    Alcotest.(check (list (pair string string)))
-      (Fmt.str "%s: protocol violations" name)
-      (violation_keys er) (violation_keys el);
-    Alcotest.(check string)
-      (Fmt.str "%s: final register state" name)
-      (Engine.state_key er) (Engine.state_key el)
-  end
+         Alcotest.(check string)
+           (Fmt.str "%s: %s: metrics snapshot" name mode)
+           (render_samples ~keep (Sampler.sample lev.h_sampler el))
+           (render_samples ~keep (Sampler.sample o.h_sampler eo)))
+      others
 
 (* --- the paper's designs ------------------------------------------- *)
 
 let design_cases =
   let case name mk =
-    Alcotest.test_case name `Quick (fun () -> run_pair ~name (mk ()))
+    Alcotest.test_case name `Quick (fun () -> run_trio ~name (mk ()))
   in
   [ case "fig1a" (fun () -> (Figures.fig1a ()).Figures.net);
     case "fig1b" (fun () -> (Figures.fig1b ()).Figures.net);
@@ -139,7 +213,48 @@ let design_cases =
     case "rs_speculative" (fun () ->
         let ops = Examples.rs_ops ~error_rate_pct:10 ~seed:5 100 in
         (Examples.rs_speculative ~ops).Examples.d_net);
+    case "rs_speculative_alarmed" (fun () ->
+        let ops = Examples.rs_ops ~error_rate_pct:10 ~seed:5 100 in
+        (fst (Examples.rs_speculative_alarmed ~ops)).Examples.d_net);
+    case "vl_speculative all-error" (fun () ->
+        (* every operation takes the slow path: the recovery machinery
+           (replay, anti-token kills) is exercised on each token *)
+        let ops = Alu.operands ~error_rate_pct:100 ~seed:3 60 in
+        (Examples.vl_speculative ~ops).Examples.d_net);
+    case "vl_stalling error-free" (fun () ->
+        let ops = Alu.operands ~error_rate_pct:0 ~seed:3 60 in
+        (Examples.vl_stalling ~ops).Examples.d_net);
     case "pc_loop" (fun () -> (Examples.pc_loop ()).Examples.pl_net) ]
+
+(* --- degenerate structures ------------------------------------------ *)
+
+(* The zero-node netlist and the smallest populated one: the arena's
+   index arithmetic must survive empty arrays and single-element
+   buffers. *)
+let degenerate_cases =
+  let case name mk =
+    Alcotest.test_case name `Quick (fun () ->
+        run_trio ~name ~cycles:50 (mk ()))
+  in
+  [ case "zero-node netlist" (fun () -> Netlist.empty);
+    case "single channel source->sink" (fun () ->
+        let b = builder () in
+        let s = src_stream b ~name:"src" [ 1; 2; 3 ] in
+        let k = sink b ~name:"snk" () in
+        let _ = conn b (s, Out 0) (k, In 0) in
+        b.net);
+    case "init-token drain order" (fun () ->
+        (* pre-seeded buffers: the arena must read the shared register
+           state, not reconstruct it *)
+        let b = builder () in
+        let s = src_stream b ~name:"src" [ 10; 11; 12 ] in
+        let e1 = eb b ~name:"e1" ~init:[ Value.Int 1; Value.Int 2 ] () in
+        let e2 = eb0 b ~name:"e2" ~init:[ Value.Int 3 ] () in
+        let k = sink_pattern b ~name:"snk" [| true; false; false |] in
+        let _ = conn b (s, Out 0) (e1, In 0) in
+        let _ = conn b (e1, Out 0) (e2, In 0) in
+        let _ = conn b (e2, Out 0) (k, In 0) in
+        b.net) ]
 
 (* --- the same designs under fault injection ------------------------- *)
 
@@ -150,7 +265,7 @@ let fault_cases =
   let case name mk_net mk_faults =
     Alcotest.test_case (name ^ " under faults") `Quick (fun () ->
         let net = mk_net () in
-        run_pair ~name ~cycles:120 ~faults:(mk_faults net) net)
+        run_trio ~name ~cycles:120 ~faults:(mk_faults net) net)
   in
   [ case "rs_speculative" (fun () ->
         let ops = Examples.rs_ops ~error_rate_pct:5 ~seed:5 60 in
@@ -164,23 +279,30 @@ let fault_cases =
       (fun net ->
          let ch = first_channel net in
          Fault.control_glitch ~channel:ch ~cycle:25
-         @ [ Fault.duplicate_token ~channel:ch ~cycle:60 ]) ]
+         @ [ Fault.duplicate_token ~channel:ch ~cycle:60 ]);
+    case "table1" (fun () -> (Figures.table1 ()).Figures.t1_net)
+      (fun net ->
+         let ch = first_channel net in
+         [ Fault.duplicate_token ~channel:ch ~cycle:15;
+           Fault.flip_bit ~channel:ch ~cycle:40 0;
+           Fault.drop_token ~channel:ch ~cycle:70 ]) ]
 
 (* --- random structures ---------------------------------------------- *)
 
 let pipe_equiv =
   let open QCheck in
-  Test.make ~name:"qcheck: levelized = reference on random pipelines"
+  Test.make ~name:"qcheck: all modes agree on random pipelines"
     ~count:120
     (make ~print:Test_sim_property.print_pipe Test_sim_property.gen_pipe)
     (fun p ->
        let net, _, _, _ = Test_sim_property.build_pipe p in
-       run_pair ~name:"pipe" net;
+       run_trio ~name:"pipe" net;
        true)
 
 type diamond = {
+  d_ways : int;
   d_early : bool;
-  d_sel : int list;  (* 0/1 select stream *)
+  d_sel : int list;  (* select stream, reduced mod d_ways *)
   d_buf : Netlist.buffer_kind;
   d_stall : int;
   d_seed : int;
@@ -188,53 +310,219 @@ type diamond = {
 
 let gen_diamond =
   let open QCheck.Gen in
+  let* d_ways = int_range 2 4 in
   let* d_early = bool in
-  let* d_sel = list_size (int_range 5 40) (int_bound 1) in
+  let* d_sel = list_size (int_range 5 40) (int_bound 3) in
   let* d_buf = oneofl [ Netlist.Eb; Netlist.Eb0 ] in
   let* d_stall = int_bound 80 in
   let* d_seed = int_bound 10000 in
-  return { d_early; d_sel; d_buf; d_stall; d_seed }
+  return { d_ways; d_early; d_sel; d_buf; d_stall; d_seed }
 
 let print_diamond d =
-  Fmt.str "early=%b buf=%s stall=%d%% seed=%d sel=[%a]" d.d_early
+  Fmt.str "ways=%d early=%b buf=%s stall=%d%% seed=%d sel=[%a]" d.d_ways
+    d.d_early
     (Netlist.buffer_kind_name d.d_buf)
     d.d_stall d.d_seed
     Fmt.(list ~sep:nop int)
-    d.d_sel
+    (List.map (fun s -> s mod d.d_ways) d.d_sel)
 
-(* A mux diamond: one buffered input arm, so an early mux steers
-   anti-tokens into the arm it did not pick. *)
+(* A multi-way mux diamond: every arm is buffered, so an early mux
+   steers anti-tokens into each arm it did not pick — with up to three
+   unselected arms carrying anti-tokens in flight at once. *)
 let build_diamond d =
   let b = builder () in
-  let sel = add b ~name:"sel" (Source (Stream (ints d.d_sel))) in
-  let s0 = add b ~name:"s0" (Source (Counter { start = 0; step = 1 })) in
-  let s1 = add b ~name:"s1" (Source (Counter { start = 100; step = 1 })) in
-  let e = add b ~name:"arm" (Buffer { buffer = d.d_buf; init = [] }) in
-  let m = add b ~name:"mux" (Mux { ways = 2; early = d.d_early }) in
+  let sel =
+    add b ~name:"sel"
+      (Source (Stream (ints (List.map (fun s -> s mod d.d_ways) d.d_sel))))
+  in
+  let m = add b ~name:"mux" (Mux { ways = d.d_ways; early = d.d_early }) in
   let k =
     add b ~name:"snk"
       (Sink (Random_stall { pct = d.d_stall; seed = d.d_seed }))
   in
   let _ = conn b (sel, Out 0) (m, Sel) in
-  let _ = conn b (s0, Out 0) (e, In 0) in
-  let _ = conn b (e, Out 0) (m, In 0) in
-  let _ = conn b (s1, Out 0) (m, In 1) in
+  for w = 0 to d.d_ways - 1 do
+    let s =
+      add b ~name:(Fmt.str "s%d" w)
+        (Source (Counter { start = 100 * w; step = 1 }))
+    in
+    let e =
+      add b ~name:(Fmt.str "arm%d" w) (Buffer { buffer = d.d_buf; init = [] })
+    in
+    let _ = conn b (s, Out 0) (e, In 0) in
+    let _ = conn b (e, Out 0) (m, In w) in
+    ()
+  done;
   let _ = conn b (m, Out 0) (k, In 0) in
   b.net
 
 let diamond_equiv =
   let open QCheck in
-  Test.make ~name:"qcheck: levelized = reference on random mux diamonds"
+  Test.make ~name:"qcheck: all modes agree on random mux diamonds"
     ~count:120
     (make ~print:print_diamond gen_diamond)
     (fun d ->
-       run_pair ~name:"diamond" (build_diamond d);
+       run_trio ~name:"diamond" (build_diamond d);
+       true)
+
+(* --- word-width datapaths ------------------------------------------- *)
+
+type word_pipe = {
+  w_width : int;  (* 1 / 32 / 63 / 64 — the Bigarray boundary cases *)
+  w_vals : int64 list;
+  w_stages : int;
+  w_stall : int;
+  w_seed : int;
+}
+
+let mask_to_width width v =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let gen_word_pipe =
+  let open QCheck.Gen in
+  let* w_width = oneofl [ 1; 32; 63; 64 ] in
+  let edge =
+    oneofl
+      [ 0L; 1L; Int64.minus_one; Int64.max_int; Int64.min_int;
+        0xDEAD_BEEF_CAFE_F00DL ]
+  in
+  let* w_vals =
+    list_size (int_range 4 24)
+      (oneof [ edge; map Int64.of_int (int_bound 1_000_000) ])
+  in
+  let* w_stages = int_range 1 3 in
+  let* w_stall = int_bound 70 in
+  let* w_seed = int_bound 10000 in
+  return
+    { w_width; w_vals = List.map (mask_to_width w_width) w_vals;
+      w_stages; w_stall; w_seed }
+
+let print_word_pipe w =
+  Fmt.str "width=%d stages=%d stall=%d%% seed=%d vals=[%a]" w.w_width
+    w.w_stages w.w_stall w.w_seed
+    Fmt.(list ~sep:semi (fun ppf v -> pf ppf "%Lx" v))
+    w.w_vals
+
+(* Word payloads ride the arena's Bigarray data plane; an int64
+   rotate keeps every stage's payload width-exact. *)
+let build_word_pipe w =
+  let b = builder () in
+  let s =
+    add b ~name:"src"
+      (Source (Stream (List.map (fun v -> Value.Word v) w.w_vals)))
+  in
+  let rot =
+    Func.make ~name:"rot1" ~arity:1 ~delay:1.0 ~area:8.0 (function
+      | [ v ] ->
+        let x = Value.to_word v in
+        let r =
+          Int64.logor (Int64.shift_left x 1)
+            (Int64.shift_right_logical x 63)
+        in
+        Value.Word (mask_to_width w.w_width r)
+      | _ -> assert false)
+  in
+  let k =
+    add b ~name:"snk"
+      (Sink (Random_stall { pct = w.w_stall; seed = w.w_seed }))
+  in
+  let prev = ref s in
+  for i = 0 to w.w_stages - 1 do
+    let f = add b ~name:(Fmt.str "rot%d" i) (Func rot) in
+    let e = add b ~name:(Fmt.str "eb%d" i) (Buffer { buffer = Eb; init = [] }) in
+    let _ = conn b ~width:w.w_width (!prev, Out 0) (f, In 0) in
+    let _ = conn b ~width:w.w_width (f, Out 0) (e, In 0) in
+    prev := e
+  done;
+  let _ = conn b ~width:w.w_width (!prev, Out 0) (k, In 0) in
+  b.net
+
+let word_pipe_equiv =
+  let open QCheck in
+  Test.make ~name:"qcheck: all modes agree on word-width pipelines"
+    ~count:100
+    (make ~print:print_word_pipe gen_word_pipe)
+    (fun w ->
+       run_trio ~name:"word pipe" (build_word_pipe w);
+       true)
+
+(* --- shared modules under every scheduler --------------------------- *)
+
+type shared_spec = {
+  sh_ways : int;
+  sh_sched : Elastic_sched.Scheduler.spec;
+  sh_rates : int list;  (* per-way source offer rate *)
+  sh_stall : int;
+  sh_seed : int;
+}
+
+let gen_shared =
+  let open QCheck.Gen in
+  let open Elastic_sched in
+  let* sh_ways = int_range 2 3 in
+  let* sh_sched =
+    (* the two-bit counter is a binary predictor *)
+    oneofl
+      (if sh_ways = 2 then
+         [ Scheduler.Static 0; Scheduler.Toggle; Scheduler.Sticky;
+           Scheduler.Two_bit; Scheduler.Round_robin ]
+       else
+         [ Scheduler.Static 0; Scheduler.Toggle; Scheduler.Sticky;
+           Scheduler.Round_robin ])
+  in
+  let* sh_rates = list_repeat sh_ways (int_range 20 100) in
+  let* sh_stall = int_bound 60 in
+  let* sh_seed = int_bound 10000 in
+  return { sh_ways; sh_sched; sh_rates; sh_stall; sh_seed }
+
+let print_shared s =
+  Fmt.str "ways=%d sched=%s rates=[%a] stall=%d%% seed=%d" s.sh_ways
+    (Elastic_sched.Scheduler.spec_name s.sh_sched)
+    Fmt.(list ~sep:comma int)
+    s.sh_rates s.sh_stall s.sh_seed
+
+let build_shared s =
+  let b = builder () in
+  let m =
+    add b ~name:"shared"
+      (Shared
+         { ways = s.sh_ways; f = Func.inc ~step:1 (); sched = s.sh_sched;
+           hinted = false })
+  in
+  List.iteri
+    (fun w pct ->
+       let src =
+         add b ~name:(Fmt.str "s%d" w)
+           (Source (Random_rate { pct; seed = s.sh_seed + w }))
+       in
+       let e =
+         add b ~name:(Fmt.str "in%d" w) (Buffer { buffer = Eb; init = [] })
+       in
+       let k =
+         add b ~name:(Fmt.str "k%d" w)
+           (Sink (Random_stall { pct = s.sh_stall; seed = s.sh_seed + 31 + w }))
+       in
+       let _ = conn b (src, Out 0) (e, In 0) in
+       let _ = conn b (e, Out 0) (m, In w) in
+       let _ = conn b (m, Out w) (k, In 0) in
+       ())
+    s.sh_rates;
+  b.net
+
+let shared_equiv =
+  let open QCheck in
+  Test.make ~name:"qcheck: all modes agree on random shared modules"
+    ~count:100
+    (make ~print:print_shared gen_shared)
+    (fun s ->
+       run_trio ~name:"shared" (build_shared s);
        true)
 
 let faulted_pipe_equiv =
   let open QCheck in
   Test.make
-    ~name:"qcheck: levelized = reference on faulted random pipelines"
+    ~name:"qcheck: all modes agree on faulted random pipelines"
     ~count:60
     (make ~print:Test_sim_property.print_pipe Test_sim_property.gen_pipe)
     (fun p ->
@@ -248,7 +536,7 @@ let faulted_pipe_equiv =
              ~cycle:(20 + (p.Test_sim_property.seed mod 20))
              ~duration:2 ]
        in
-       run_pair ~name:"faulted pipe" ~faults net;
+       run_trio ~name:"faulted pipe" ~faults net;
        true)
 
 (* --- convergence-failure diagnostics -------------------------------- *)
@@ -281,8 +569,9 @@ let convergence_error_names_channels () =
       Alcotest.failf "no channel named in: %s" err.Engine.err_msg
 
 let suite =
-  design_cases @ fault_cases
+  design_cases @ degenerate_cases @ fault_cases
   @ List.map QCheck_alcotest.to_alcotest
-      [ pipe_equiv; diamond_equiv; faulted_pipe_equiv ]
+      [ pipe_equiv; diamond_equiv; word_pipe_equiv; shared_equiv;
+        faulted_pipe_equiv ]
   @ [ Alcotest.test_case "non-convergence error names the channels" `Quick
         convergence_error_names_channels ]

@@ -604,6 +604,31 @@ let rec patch path value j =
       | _ -> j)
   | _, _ -> j
 
+(* The E9 timing fields must be exempt from the baseline diff on every
+   machine, while the throughput/ratio claims stay compared. *)
+let test_gate_wall_clock_suffixes () =
+  List.iter
+    (fun path ->
+       Alcotest.(check bool) ("skipped: " ^ path) true
+         (Gate.wall_clock_key path))
+    [ "engine.settle_us_per_cycle";
+      "designs[0].levelized_settle_seconds";
+      "designs[0].arena_settle_seconds";
+      "designs[1].arena_cycles_per_second";
+      "designs[1].levelized_cycles_per_second";
+      "designs[0].arena_speedup" ];
+  List.iter
+    (fun path ->
+       Alcotest.(check bool) ("compared: " ^ path) true
+         (not (Gate.wall_clock_key path)))
+    [ "points[2].spec_throughput";
+      "designs[0].speedup_ok";
+      "designs[0].arena_matches_levelized";
+      "designs[0].cycles";
+      (* the suffix must be a strict suffix of a longer key, not the
+         whole key wearing a disguise *)
+      "speedup.total" ]
+
 let test_gate_rules () =
   let diffs b c = Gate.compare ~baseline:b ~current:c () in
   Alcotest.(check int) "identical records pass" 0
@@ -714,5 +739,7 @@ let suite =
       test_clock_injection;
     Alcotest.test_case "gate: tolerance and path rules" `Quick
       test_gate_rules;
+    Alcotest.test_case "gate: wall-clock suffixes cover the E9 timings"
+      `Quick test_gate_wall_clock_suffixes;
     Alcotest.test_case "speculation gain is positive" `Quick
       test_speculation_gain ]

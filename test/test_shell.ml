@@ -291,4 +291,65 @@ let suite =
         | Ok _ -> Alcotest.fail "abort mode should stop the script"
         | Error m ->
           Alcotest.(check bool) "line provenance" true
-            (Helpers.contains m "line 4")) ]
+            (Helpers.contains m "line 4"));
+    Alcotest.test_case "mode command selects the engine backend" `Quick
+      (fun () ->
+        let s = Shell.create () in
+        (* Bare [mode] reports the default before any override is set. *)
+        let shown = exec s "mode" in
+        Alcotest.(check bool) "shows a backend name" true
+          (Helpers.contains shown "levelized"
+           || Helpers.contains shown "arena"
+           || Helpers.contains shown "reference");
+        let set = exec s "mode arena" in
+        Alcotest.(check bool) "confirms arena" true
+          (Helpers.contains set "arena");
+        Alcotest.(check string) "sticky" "mode: arena" (exec s "mode");
+        (* Simulation commands run on the selected backend. *)
+        let _ = exec s "load fig1a" in
+        let out = exec s "throughput 100" in
+        Alcotest.(check bool) "throughput still reports the sink" true
+          (Helpers.contains out "out:"));
+    Alcotest.test_case "mode arena matches levelized reports" `Quick
+      (fun () ->
+        let report mode =
+          let s = Shell.create () in
+          let _ = exec s ("mode " ^ mode) in
+          let _ = exec s "load rs-spec" in
+          (exec s "throughput 200", exec s "stats 200")
+        in
+        let thr_l, stats_l = report "levelized" in
+        let thr_a, stats_a = report "arena" in
+        Alcotest.(check string) "throughput identical" thr_l thr_a;
+        Alcotest.(check string) "stats identical" stats_l stats_a);
+    Alcotest.test_case "bare mode reflects the engine env default" `Quick
+      (fun () ->
+        let with_env v f =
+          let prev = Sys.getenv_opt "ELASTIC_EVAL_MODE" in
+          Unix.putenv "ELASTIC_EVAL_MODE" v;
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.putenv "ELASTIC_EVAL_MODE"
+                (Option.value ~default:"" prev))
+            f
+        in
+        with_env "arena" (fun () ->
+            let s = Shell.create () in
+            Alcotest.(check string) "env default shown" "mode: arena"
+              (exec s "mode");
+            (* An explicit selection still beats the environment. *)
+            let _ = exec s "mode levelized" in
+            Alcotest.(check string) "override wins" "mode: levelized"
+              (exec s "mode")));
+    Alcotest.test_case "mode rejects unknown backends" `Quick (fun () ->
+        let s = Shell.create () in
+        let m = expect_error s "mode warp-speed" in
+        Alcotest.(check bool) "names the bad mode" true
+          (Helpers.contains m "warp-speed");
+        Alcotest.(check bool) "lists the choices" true
+          (Helpers.contains m "arena");
+        (* A failed [mode] leaves the previous selection in place. *)
+        let _ = exec s "mode reference" in
+        let _ = expect_error s "mode bogus" in
+        Alcotest.(check string) "selection survives" "mode: reference"
+          (exec s "mode")) ]
