@@ -66,7 +66,7 @@ let engine_record ?(cycles = 400) net =
          Json.Float
            (if cyc = 0 then 0.0
             else
-              Elastic_sim.Profile.wall_seconds p *. 1e6 /. float_of_int cyc)) ]
+              Elastic_sim.Profile.settle_seconds p *. 1e6 /. float_of_int cyc)) ]
   in
   let sched = Elastic_sim.Engine.schedule lv in
   let epc eng =
@@ -1056,7 +1056,7 @@ let json_e9 ~cycles () =
       let eng = Elastic_sim.Engine.create ~monitor:false ~mode net in
       Elastic_sim.Engine.run eng cycles;
       let w =
-        Elastic_sim.Profile.wall_seconds (Elastic_sim.Engine.profile eng)
+        Elastic_sim.Profile.settle_seconds (Elastic_sim.Engine.profile eng)
       in
       if w < !best then best := w;
       keep := Some eng
@@ -1097,6 +1097,95 @@ let json_e9 ~cycles () =
   record ~experiment:"E9" ~title:"arena backend settle speedup"
     [ ("designs",
        Json.List [ design "vl_speculative" e5; design "rs_speculative" e6 ]) ]
+
+(* E10: scheduling overhead of the supervised runner, measured from its
+   own span ledger.  Each worker count of the scaling curve runs the
+   SECDED campaign with a span collector attached; worker utilization is
+   the summed shard-span time over [workers x wall], scheduling overhead
+   its complement.  The cross-check that makes the ledger trustworthy:
+   at 1 worker the shard spans must account for >= 95% of the campaign
+   span — if they do not, the instrumentation is dropping time, and the
+   utilization numbers upstream of it mean nothing. *)
+let json_e10 ?artifact ~count () =
+  let module Collector = Elastic_obs.Collector in
+  let module Span = Elastic_obs.Span in
+  let tasks = secded_tasks ~count () in
+  let run_at w =
+    let c = Collector.create () in
+    let t0 = Elastic_sim.Clock.monotonic () in
+    let r =
+      Runner.run ~workers:w ~sleep:no_sleep ~obs:c
+        ~name:(Fmt.str "e10-w%d" w) tasks
+    in
+    let wall =
+      Elastic_sim.Clock.seconds_between t0 (Elastic_sim.Clock.monotonic ())
+    in
+    (w, r, c, wall)
+  in
+  let runs = List.map run_at [ 1; 2; 4; 8 ] in
+  let campaign_seconds c wall =
+    match
+      List.find_opt
+        (fun (s : Span.t) -> s.Span.sp_kind = Span.Campaign)
+        (Collector.spans c)
+    with
+    | Some s -> Span.duration_seconds s
+    | None -> wall
+  in
+  let busy_total c =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0
+      (Collector.busy_seconds c)
+  in
+  let points =
+    List.map
+      (fun (w, r, c, wall) ->
+         let busy = busy_total c in
+         let util =
+           if wall > 0.0 then
+             min 1.0 (busy /. (float_of_int w *. wall))
+           else 0.0
+         in
+         Json.Obj
+           [ ("workers", Json.Int w);
+             ("shards", Json.Int (List.length r.Runner.r_shards));
+             ("completed", Json.Int r.Runner.r_completed);
+             ("spans", Json.Int (Collector.recorded c));
+             ("spans_dropped", Json.Int (Collector.dropped c));
+             ("elapsed_seconds", Json.Float wall);
+             ("campaign_span_seconds", Json.Float (campaign_seconds c wall));
+             ("busy_seconds", Json.Float busy);
+             ("worker_utilization", Json.Float util);
+             ("scheduling_overhead", Json.Float (max 0.0 (1.0 -. util))) ])
+      runs
+  in
+  (* The ledger-accounting cross-check, on the 1-worker run: with no
+     parallel idling possible, shard spans vs the campaign span is a
+     pure instrumentation-coverage measurement. *)
+  let account_ratio, account_ok =
+    match runs with
+    | (1, _, c, wall) :: _ ->
+      let camp = campaign_seconds c wall in
+      let ratio = if camp > 0.0 then busy_total c /. camp else 0.0 in
+      (ratio, ratio >= 0.95)
+    | _ -> (0.0, false)
+  in
+  (match (artifact, List.rev runs) with
+   | Some base, (_, _, c, _) :: _ ->
+     (* Artifacts come from the widest run (8 workers): one Perfetto
+        track per worker is the point of the format. *)
+     let spans = Collector.spans c in
+     Elastic_obs.Export.write_chrome ~path:(base ^ ".json") spans;
+     Elastic_obs.Export.write_jsonl ~path:(base ^ ".jsonl")
+       ~campaign:"secded" spans;
+     Elastic_obs.Export.write_folded ~path:(base ^ ".folded") spans;
+     Fmt.pr "wrote %s.json, %s.jsonl, %s.folded@." base base base
+   | _ -> ());
+  record ~experiment:"E10"
+    ~title:"scheduling overhead from the runner's span ledger"
+    [ ("scenarios", Json.Int count);
+      ("points", Json.List points);
+      ("spans_account_ratio", Json.Float account_ratio);
+      ("spans_account_ok", Json.Bool account_ok) ]
 
 (* ------------------------------------------------------------------ *)
 (* --check: the regression gate.  Re-derives the paper's headline       *)
@@ -1222,6 +1311,40 @@ let claim_checks fail path j =
         pts
     | _ -> fail path "points" "missing"
   end;
+  (* E10: the span ledger must be trustworthy before its utilization
+     numbers are — at 1 worker the shard spans account for >= 95% of
+     the campaign span, nothing is dropped, and every point completes
+     the whole campaign. *)
+  if String.equal experiment "E10" then begin
+    (match Json.member "spans_account_ok" j with
+     | Some (Json.Bool true) -> ()
+     | _ ->
+       fail path "spans_account_ok"
+         (Fmt.str
+            "shard spans cover < 95%% of the 1-worker campaign span \
+             (ratio %g)"
+            (match Json.member "spans_account_ratio" j with
+             | Some v -> flt v
+             | None -> nan)));
+    match Json.member "points" j with
+    | Some (Json.List pts) ->
+      List.iteri
+        (fun i p ->
+           (match Json.member "spans_dropped" p with
+            | Some (Json.Int 0) -> ()
+            | _ ->
+              fail path
+                (Fmt.str "points[%d].spans_dropped" i)
+                "span ring overflowed; raise the recorder capacity");
+           match (Json.member "completed" p, Json.member "shards" p) with
+           | Some (Json.Int c), Some (Json.Int s) when c = s -> ()
+           | _ ->
+             fail path
+               (Fmt.str "points[%d].completed" i)
+               "campaign did not complete every shard")
+        pts
+    | _ -> fail path "points" "missing"
+  end;
   (* Sec. 4.3: every squash replays in exactly one cycle — both in the
      trace timelines and in the replay-penalty histogram. *)
   (match Json.member "speculation" j with
@@ -1310,7 +1433,10 @@ let json_mode ~quick ~trace () =
       ("BENCH_E6.json",
        json_e6 ~n ~pcts:e6_pcts ?artifact:(artifact "TRACE_E6") ());
       ("BENCH_E8.json", json_e8 ~count:(if quick then 24 else 96) ());
-      ("BENCH_E9.json", json_e9 ~cycles:(if quick then 4_000 else 20_000) ()) ]
+      ("BENCH_E9.json", json_e9 ~cycles:(if quick then 4_000 else 20_000) ());
+      ("BENCH_E10.json",
+       json_e10 ~count:(if quick then 24 else 60)
+         ?artifact:(artifact "SPANS_E10") ()) ]
   in
   List.iter
     (fun (path, j) ->

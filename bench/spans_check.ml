@@ -1,0 +1,72 @@
+(* CI validator for Chrome trace-event exports (bench --trace, shell
+   [spans chrome]).  Checks structure, not content: the file parses,
+   the ["traceEvents"] array exists, every ["X"] event carries integer
+   microsecond [ts] / non-negative [dur] / the shared pid, and events
+   appear in monotonically non-decreasing [ts] order — the invariant
+   Export.chrome_json sorts for and Perfetto's importer leans on.
+   Exit 0 with a one-line summary, exit 1 naming the first violation. *)
+
+module Json = Elastic_metrics.Json
+
+let die fmt = Fmt.kstr (fun m -> Fmt.epr "spans_check: %s@." m; exit 1) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error m -> die "%s" m
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> die "usage: spans_check <chrome-trace.json>"
+  in
+  let j =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error m -> die "%s: not valid JSON: %s" path m
+  in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) -> evs
+    | Some _ -> die "%s: \"traceEvents\" is not an array" path
+    | None -> die "%s: no \"traceEvents\" field" path
+  in
+  let complete = ref 0 in
+  let meta = ref 0 in
+  let tracks = Hashtbl.create 8 in
+  let last_ts = ref min_int in
+  List.iteri
+    (fun i ev ->
+       let field name =
+         match Json.member name ev with
+         | Some v -> v
+         | None -> die "%s: event %d has no %S field" path i name
+       in
+       let int_field name =
+         match field name with
+         | Json.Int v -> v
+         | _ -> die "%s: event %d: %S is not an integer" path i name
+       in
+       match field "ph" with
+       | Json.Str "M" -> incr meta
+       | Json.Str "X" ->
+         incr complete;
+         let ts = int_field "ts" in
+         let dur = int_field "dur" in
+         let tid = int_field "tid" in
+         if int_field "pid" <> 1 then
+           die "%s: event %d: pid <> 1" path i;
+         if ts < 0 then die "%s: event %d: negative ts %d" path i ts;
+         if dur < 0 then die "%s: event %d: negative dur %d" path i dur;
+         if ts < !last_ts then
+           die "%s: event %d: ts %d goes back in time (previous %d)" path
+             i ts !last_ts;
+         last_ts := ts;
+         Hashtbl.replace tracks tid ()
+       | Json.Str ph -> die "%s: event %d: unexpected phase %S" path i ph
+       | _ -> die "%s: event %d: \"ph\" is not a string" path i)
+    events;
+  if !complete = 0 then die "%s: no complete (\"X\") events" path;
+  Fmt.pr "%s: OK — %d spans on %d tracks (%d metadata events), monotone@."
+    path !complete (Hashtbl.length tracks) !meta

@@ -21,12 +21,19 @@ type session = {
   mutable eval_mode : Elastic_sim.Engine.eval_mode option;
       (* [mode] command override for simulation engines; [None] defers
          to the engine's default (the ELASTIC_EVAL_MODE environment). *)
+  mutable spans_capacity : int option;
+      (* [Some per-worker ring capacity] while [spans on] is in effect:
+         the next [campaign --par] records a span ledger. *)
+  mutable collector : Elastic_obs.Collector.t option;
+      (* Span ledger of the most recent instrumented campaign, kept for
+         [spans dump] and the export commands. *)
 }
 
 let create () =
   { net = None; design = "netlist"; undo = []; redo = [];
     trace_capacity = None; tracer = None; on_error_continue = false;
-    pending_resume = None; eval_mode = None }
+    pending_resume = None; eval_mode = None; spans_capacity = None;
+    collector = None }
 
 let current s = s.net
 
@@ -115,10 +122,25 @@ let help =
                            isolated with provenance, transient failures
                            retry with seeded backoff, completed shards
                            checkpoint to <file> for resume
-  runner status <file>     completeness of a campaign checkpoint
+  runner status <file>     completeness of a campaign checkpoint, plus a
+                           per-shard outcome digest (retries, slowest
+                           shard, total attempt seconds)
   runner resume <file>     re-run the campaign command stored in the
                            checkpoint, adopting completed shards instead
                            of recomputing them
+  spans on [capacity]      record structured spans (campaign -> shard ->
+                           attempt -> compile/settle/checkpoint-write/
+                           backoff-sleep) during subsequent campaign
+                           --par runs, one ring per worker
+  spans off                stop recording (the last ledger stays
+                           dumpable and exportable)
+  spans dump [n]           print the last n recorded spans
+  spans jsonl <file>       export the ledger as JSONL
+                           (schema elastic-speculation/spans/v1)
+  spans chrome <file>      export Chrome trace-event JSON (load in
+                           Perfetto / chrome://tracing; one track per
+                           worker)
+  spans folded <file>      export collapsed stacks for flamegraph.pl
   on-error continue|abort  script mode: report failing lines (with their
                            line numbers) and keep going, or stop at the
                            first error (the default)
@@ -139,7 +161,8 @@ let commands =
     "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
     "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch"; "mode";
     "cycletime"; "area"; "bound"; "critical"; "verify"; "lint"; "inject";
-    "campaign"; "runner"; "on-error"; "dot"; "verilog"; "blif"; "smv";
+    "campaign"; "runner"; "spans"; "on-error"; "dot"; "verilog"; "blif";
+    "smv";
     "undo"; "redo"; "help"; "quit"; "exit" ]
 
 let designs =
@@ -510,16 +533,42 @@ let campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios =
     Workload.of_campaign ~cycles ~settle:60 ~alarms:(alarms_of net) ~name
       net ~scenarios
   in
-  let r =
-    Runner.run ~workers:par ?checkpoint:ckpt ?resume ~command ~name tasks
+  let obs =
+    Option.map
+      (fun capacity_per_track ->
+         Elastic_obs.Collector.create ~capacity_per_track ())
+      s.spans_capacity
   in
+  let clock = Elastic_sim.Clock.monotonic in
+  let t0 = clock () in
+  let r =
+    Runner.run ~workers:par ?checkpoint:ckpt ?resume ?obs ~command ~name
+      tasks
+  in
+  let wall_seconds = Elastic_sim.Clock.seconds_between t0 (clock ()) in
   let histogram = Workload.classification_histogram r.Runner.r_merged in
   let hist_lines =
     List.map (fun (label, n) -> Fmt.str "  %-20s %d" label n) histogram
   in
+  let span_lines =
+    match obs with
+    | None -> []
+    | Some c ->
+      s.collector <- Some c;
+      let util = Elastic_obs.Collector.utilization c ~wall_seconds in
+      Fmt.str "spans: %d recorded (%d dropped) in %.3fs"
+        (Elastic_obs.Collector.recorded c)
+        (Elastic_obs.Collector.dropped c)
+        wall_seconds
+      :: List.map
+           (fun (w, u) ->
+              Fmt.str "  worker %d utilization %5.1f%%" w (100.0 *. u))
+           util
+  in
   let body =
     (Fmt.str "@[<v>%a@]" Runner.pp_report r :: "classification histogram:"
      :: hist_lines)
+    @ span_lines
     @
     match ckpt with
     | Some f -> [ Fmt.str "checkpoint: %s" f ]
@@ -936,6 +985,79 @@ let rec execute_cmd s line =
                     :: List.map
                          (Fmt.str "  %a" (Elastic_trace.Event.pp net))
                          evs))))
+  | "spans" :: "on" :: rest -> (
+      let capacity =
+        match rest with
+        | [] -> Ok 8192
+        | [ c ] -> int_arg "capacity" c
+        | _ -> Error "usage: spans on [capacity]"
+      in
+      match capacity with
+      | Error m -> Error m
+      | Ok c when c < 1 -> Error "capacity must be >= 1"
+      | Ok capacity ->
+        s.spans_capacity <- Some capacity;
+        Ok
+          (Fmt.str
+             "spans on (per-worker ring capacity %d); campaign --par \
+              runs now record a span ledger (dump with: spans dump)"
+             capacity))
+  | [ "spans"; "off" ] ->
+    s.spans_capacity <- None;
+    Ok "spans off (the last recorded ledger is still exportable)"
+  | "spans" :: "dump" :: rest -> (
+      let limit =
+        match rest with
+        | [] -> Ok 40
+        | [ n ] -> int_arg "count" n
+        | _ -> Error "usage: spans dump [n]"
+      in
+      match limit, s.collector with
+      | Error m, _ -> Error m
+      | Ok _, None ->
+        Error
+          "no spans recorded (use: spans on, then campaign ... --par)"
+      | Ok limit, Some c ->
+        catch (fun () ->
+            let spans = Elastic_obs.Collector.spans c in
+            let total = List.length spans in
+            let skip = max 0 (total - limit) in
+            let tail = List.filteri (fun i _ -> i >= skip) spans in
+            let base_ns = Elastic_obs.Export.base_ns spans in
+            let head =
+              Fmt.str "%d spans recorded (%d dropped), last %d:"
+                (Elastic_obs.Collector.recorded c)
+                (Elastic_obs.Collector.dropped c)
+                (List.length tail)
+            in
+            Ok
+              (String.concat "\n"
+                 (head
+                  :: List.map
+                       (Fmt.str "  %a" (Elastic_obs.Span.pp ~base_ns))
+                       tail))))
+  | [ "spans"; ("jsonl" | "chrome" | "folded") as fmt; file ] -> (
+      match s.collector with
+      | None ->
+        Error
+          "no spans recorded (use: spans on, then campaign ... --par)"
+      | Some c ->
+        catch (fun () ->
+            let spans = Elastic_obs.Collector.spans c in
+            (match fmt with
+             | "jsonl" ->
+               Elastic_obs.Export.write_jsonl ~path:file
+                 ~campaign:s.design spans
+             | "chrome" ->
+               Elastic_obs.Export.write_chrome ~path:file spans
+             | _ -> Elastic_obs.Export.write_folded ~path:file spans);
+            Ok
+              (Fmt.str "wrote %d spans to %s (%s)" (List.length spans)
+                 file fmt)))
+  | "spans" :: _ ->
+    Error
+      "usage: spans on [capacity] | spans off | spans dump [n] | spans \
+       jsonl <file> | spans chrome <file> | spans folded <file>"
   | "vcd" :: file :: rest ->
     with_net s (fun net ->
         let cycles =

@@ -17,11 +17,19 @@ let wall_clock_key path =
     && String.equal (String.sub last (String.length last - n) n) suf
   in
   String.equal last "settle_us_per_cycle"
+  (* Span-ledger coverage (bench E10): a wall-clock ratio; the bench
+     gates its >= 0.95 floor via the spans_account_ok bool instead. *)
+  || String.equal last "spans_account_ratio"
   || suffixed "_seconds"
   (* Derived rates and ratios are as machine-dependent as the raw
      timings they come from (bench E9). *)
   || suffixed "_per_second"
   || suffixed "_speedup"
+  (* Scheduling-overhead ratios (bench E10) are wall-clock-derived
+     too: utilization varies with load, overhead with clock
+     resolution. *)
+  || suffixed "_utilization"
+  || suffixed "_overhead"
 
 (* Leaves of a record, as [path -> value] in document order.  Array
    elements are indexed ([points[2].spec_throughput]) so a reordering

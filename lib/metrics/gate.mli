@@ -7,7 +7,8 @@
     tolerance (they round-trip through the 6-significant-digit JSON
     emitter), and a path present on one side only is a failure in
     either direction.  Wall-clock-dependent keys
-    ([settle_us_per_cycle], [*_seconds], [*_per_second], [*_speedup])
+    ([settle_us_per_cycle], [*_seconds], [*_per_second], [*_speedup],
+    [*_utilization], [*_overhead])
     are skipped by default — they measure the machine, not the
     design. *)
 

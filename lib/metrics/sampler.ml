@@ -182,7 +182,7 @@ let registry t = t.reg
    only at window boundaries (or every cycle when no window is set). *)
 let refresh_gauges t eng =
   Metrics.Gauge.set t.g_settle_seconds
-    (Profile.wall_seconds (Engine.profile eng));
+    (Profile.settle_seconds (Engine.profile eng));
   Metrics.Gauge.set t.g_stored (float_of_int (Engine.stored_tokens eng));
   List.iter
     (fun (nid, occ) ->

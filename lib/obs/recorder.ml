@@ -1,0 +1,103 @@
+open Elastic_sim
+
+type t = {
+  ring : Span.t array;
+  cap : int;
+  mutable next : int;  (* ring write cursor *)
+  mutable total : int;  (* finished spans ever pushed *)
+  mutable seq : int;  (* next span id *)
+  clock : Clock.t;
+  trace : int;
+  rec_track : int;
+}
+
+(* Ring sentinel; never returned (slots past [total] are skipped). *)
+let dummy =
+  { Span.sp_trace = 0; sp_id = -1; sp_parent = Span.no_parent;
+    sp_kind = Span.Campaign; sp_name = ""; sp_track = 0;
+    sp_start_ns = 0L; sp_end_ns = 0L; sp_attrs = [] }
+
+let create ?(capacity = 8192) ?(clock = Clock.monotonic) ?(trace = 0)
+    ?(track = 0) ?(first_id = 1) () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  { ring = Array.make capacity dummy;
+    cap = capacity;
+    next = 0;
+    total = 0;
+    seq = first_id;
+    clock;
+    trace;
+    rec_track = track }
+
+let track t = t.rec_track
+
+let now t = t.clock ()
+
+type scope = {
+  sc_id : int;
+  sc_parent : int;
+  sc_kind : Span.kind;
+  sc_name : string;
+  sc_start : int64;
+  mutable sc_attrs : (string * Span.attr) list;
+}
+
+let id sc = sc.sc_id
+
+let start_ns sc = sc.sc_start
+
+let fresh_id t =
+  let i = t.seq in
+  t.seq <- t.seq + 1;
+  i
+
+let push t span =
+  t.ring.(t.next) <- span;
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1
+
+let enter t ?(parent = Span.no_parent) ?(attrs = []) kind name =
+  { sc_id = fresh_id t;
+    sc_parent = parent;
+    sc_kind = kind;
+    sc_name = name;
+    sc_start = t.clock ();
+    sc_attrs = attrs }
+
+let add_attr sc key v = sc.sc_attrs <- (key, v) :: sc.sc_attrs
+
+let leave t sc =
+  push t
+    { Span.sp_trace = t.trace;
+      sp_id = sc.sc_id;
+      sp_parent = sc.sc_parent;
+      sp_kind = sc.sc_kind;
+      sp_name = sc.sc_name;
+      sp_track = t.rec_track;
+      sp_start_ns = sc.sc_start;
+      sp_end_ns = t.clock ();
+      sp_attrs = List.rev sc.sc_attrs }
+
+let emit t ?(parent = Span.no_parent) ?(attrs = []) kind name ~start_ns
+    ~end_ns =
+  push t
+    { Span.sp_trace = t.trace;
+      sp_id = fresh_id t;
+      sp_parent = parent;
+      sp_kind = kind;
+      sp_name = name;
+      sp_track = t.rec_track;
+      sp_start_ns = start_ns;
+      sp_end_ns = end_ns;
+      sp_attrs = attrs }
+
+let spans t =
+  let kept = min t.total t.cap in
+  let first =
+    if t.total <= t.cap then 0 else t.next (* oldest surviving slot *)
+  in
+  List.init kept (fun k -> t.ring.((first + k) mod t.cap))
+
+let recorded t = t.total
+
+let dropped t = max 0 (t.total - t.cap)

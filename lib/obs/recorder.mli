@@ -1,0 +1,91 @@
+(** Allocation-conscious single-writer span recorder.
+
+    One recorder belongs to one track (worker/domain): all writes come
+    from that worker, so no locking is needed — the parallel runner
+    gives each worker its own recorder and the {!Collector} merges them
+    after the run (the same split the per-worker stats accounting
+    uses).
+
+    Finished spans land in a preallocated ring ({!Elastic_trace.Tracer}
+    discipline): pushing never allocates ring cells, and once the ring
+    is full the oldest spans are overwritten and counted as
+    {!dropped}.  Open spans are small scope records ({!enter} allocates
+    one); the settle loop itself is never instrumented — phase spans
+    are synthesized from {!Elastic_sim.Profile} totals with {!emit},
+    which reads no clock — so a disabled recorder costs the engine
+    nothing (guarded by a test). *)
+
+type t
+
+(** [create ()] starts an empty recorder.
+
+    @param capacity ring size in spans (default 8192).
+    @param clock injectable time source (default
+      [Elastic_sim.Clock.monotonic]).
+    @param trace trace id stamped on every span (default 0).
+    @param track worker id stamped on every span (default 0).
+    @param first_id ids are allocated sequentially from here — give each
+      worker a disjoint range so ids stay unique across a merge
+      (default 1). *)
+val create :
+  ?capacity:int ->
+  ?clock:Elastic_sim.Clock.t ->
+  ?trace:int ->
+  ?track:int ->
+  ?first_id:int ->
+  unit ->
+  t
+
+val track : t -> int
+
+(** One clock reading (the recorder's own clock). *)
+val now : t -> int64
+
+(** An entered-but-not-finished span. *)
+type scope
+
+(** Id of an open span, for parenting children across recorders. *)
+val id : scope -> int
+
+(** Clock reading taken when the scope was entered. *)
+val start_ns : scope -> int64
+
+(** [enter t kind name] opens a span starting now (one clock read).
+    [parent] is the enclosing span's id ({!Span.no_parent} for a
+    root). *)
+val enter :
+  t ->
+  ?parent:int ->
+  ?attrs:(string * Span.attr) list ->
+  Span.kind ->
+  string ->
+  scope
+
+(** Attach an attribute to a still-open span. *)
+val add_attr : scope -> string -> Span.attr -> unit
+
+(** [leave t sc] finishes the span now (one clock read) and pushes it
+    into the ring. *)
+val leave : t -> scope -> unit
+
+(** [emit t kind name ~start_ns ~end_ns] records a pre-timed span
+    without reading the clock — used to synthesize compile/settle phase
+    spans from {!Elastic_sim.Profile} totals. *)
+val emit :
+  t ->
+  ?parent:int ->
+  ?attrs:(string * Span.attr) list ->
+  Span.kind ->
+  string ->
+  start_ns:int64 ->
+  end_ns:int64 ->
+  unit
+
+(** Finished spans surviving in the ring, oldest first. *)
+val spans : t -> Span.t list
+
+(** Total finished spans, including overwritten ones. *)
+val recorded : t -> int
+
+(** Finished spans lost to ring wraparound. *)
+val dropped : t -> int

@@ -14,6 +14,7 @@ type entry = {
   e_id : string;
   e_index : int;
   e_attempts : int;
+  e_seconds : float;
   e_samples : Metrics.sample list;
 }
 
@@ -69,6 +70,7 @@ let entry_to_json e =
     [ ("shard", Json.Str e.e_id);
       ("index", Json.Int e.e_index);
       ("attempts", Json.Int e.e_attempts);
+      ("seconds", Json.Float e.e_seconds);
       ("samples", Metrics.samples_to_json e.e_samples) ]
 
 let entry_of_json j =
@@ -88,13 +90,22 @@ let entry_of_json j =
     | Some (Json.Int i) when i >= 1 -> Ok i
     | Some _ | None -> Error "entry: bad \"attempts\" field"
   in
+  (* Absent in pre-spans checkpoints: default 0.0, still loadable. *)
+  let* seconds =
+    match Json.member "seconds" j with
+    | Some s -> (
+        match Json.to_float s with
+        | Some f when f >= 0.0 -> Ok f
+        | Some _ | None -> Error "entry: bad \"seconds\" field")
+    | None -> Ok 0.0
+  in
   let* samples =
     match Json.member "samples" j with
     | Some s -> Metrics.samples_of_json s
     | None -> Error "entry: \"samples\" field missing"
   in
   Ok { e_id = id; e_index = index; e_attempts = attempts;
-       e_samples = samples }
+       e_seconds = seconds; e_samples = samples }
 
 let write ~path header entries =
   let tmp = path ^ ".tmp" in
@@ -163,10 +174,42 @@ let load path =
     Ok { header; entries; truncated }
 
 let pp_status ppf t =
+  Fmt.pf ppf "@[<v>";
   Fmt.pf ppf "campaign %S: %d/%d shards checkpointed%s%a" t.header.campaign
     (List.length t.entries) t.header.shards
     (if t.truncated then " (final line truncated, dropped)" else "")
     (fun ppf -> function
        | Some c -> Fmt.pf ppf "; resume command: %S" c
        | None -> ())
-    t.header.command
+    t.header.command;
+  (* Per-shard outcomes.  Only completed shards reach the file, so
+     "missing" covers both failed and never-started shards — the resume
+     work list. *)
+  (match t.entries with
+  | [] -> ()
+  | e0 :: _ ->
+    let completed = List.length t.entries in
+    let retried =
+      List.length (List.filter (fun e -> e.e_attempts > 1) t.entries)
+    in
+    let missing = max 0 (t.header.shards - completed) in
+    let attempts_total =
+      List.fold_left (fun acc e -> acc + e.e_attempts) 0 t.entries
+    in
+    let seconds_total =
+      List.fold_left (fun acc e -> acc +. e.e_seconds) 0.0 t.entries
+    in
+    let slowest =
+      List.fold_left
+        (fun acc e -> if e.e_seconds > acc.e_seconds then e else acc)
+        e0 t.entries
+    in
+    Fmt.pf ppf
+      "@,shards: %d completed (%d after retries), %d failed or not run@,\
+       attempts: %d across completed shards, %.3fs total"
+      completed retried missing attempts_total seconds_total;
+    if slowest.e_seconds > 0.0 then
+      Fmt.pf ppf "@,slowest shard: %s (index %d) %.3fs, %d attempt%s"
+        slowest.e_id slowest.e_index slowest.e_seconds slowest.e_attempts
+        (if slowest.e_attempts = 1 then "" else "s"));
+  Fmt.pf ppf "@]"

@@ -25,6 +25,9 @@ type entry = {
   e_id : string;  (** task id — the resume match key *)
   e_index : int;
   e_attempts : int;
+  e_seconds : float;
+      (** wall seconds of the completing attempt; 0.0 when loaded from
+          a pre-spans checkpoint that lacks the field *)
   e_samples : Elastic_metrics.Metrics.sample list;
 }
 
@@ -52,5 +55,8 @@ val append : path:string -> entry -> unit
     lines come back as [Error]. *)
 val load : string -> (t, string) result
 
-(** Human completeness summary: shards done / total, truncation flag. *)
+(** Human completeness summary: shards done / total, truncation flag,
+    then a per-shard outcome digest from the entries — completed /
+    retried / missing counts, total attempts and wall seconds, and the
+    slowest checkpointed shard. *)
 val pp_status : Format.formatter -> t -> unit

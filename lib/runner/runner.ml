@@ -1,6 +1,9 @@
 open Elastic_sim
 module Metrics = Elastic_metrics.Metrics
 module Json = Elastic_metrics.Json
+module Span = Elastic_obs.Span
+module Recorder = Elastic_obs.Recorder
+module Collector = Elastic_obs.Collector
 
 exception Deadline_exceeded of string
 
@@ -11,6 +14,7 @@ type ctx = {
   shard_index : int;
   attempt : int;
   check_deadline : unit -> unit;
+  obs : (Recorder.t * int) option;
 }
 
 type task = {
@@ -67,6 +71,10 @@ type report = {
   r_stopped : bool;
 }
 
+let class_name = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+
 (* Mutable per-worker accounting, touched only by the owning worker. *)
 type w_acc = {
   mutable a_tasks : int;
@@ -79,7 +87,7 @@ type w_acc = {
 let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
     ?(seed = 2009) ?(classify = default_classify) ?shard_deadline
     ?campaign_deadline ?(clock = Clock.monotonic) ?(sleep = Unix.sleepf)
-    ?checkpoint ?resume ?command ?stop_after ?registry ~name tasks =
+    ?checkpoint ?resume ?command ?stop_after ?registry ?obs ~name tasks =
   let nw =
     match workers with
     | Some w when w <= 0 -> invalid_arg "Runner.run: non-positive workers"
@@ -148,11 +156,45 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
   in
   let stopped = ref false in
   let completions = ref 0 in
-  let note_completion e =
+  (* Span ledger: one single-writer recorder per worker, a campaign
+     root on track 0 entered before the workers start and left after
+     they join (no concurrent writer either side of the run). *)
+  (match obs with
+   | Some c -> Collector.prepare c ~tracks:nw
+   | None -> ());
+  let orec w =
+    match obs with None -> None | Some c -> Some (Collector.track c w)
+  in
+  let camp_scope =
+    match orec 0 with
+    | None -> None
+    | Some r0 ->
+      Some
+        (Recorder.enter r0 Span.Campaign name
+           ~attrs:
+             [ ("workers", Span.Int nw);
+               ("shards", Span.Int n);
+               ("resumed", Span.Int (List.length carried)) ])
+  in
+  let camp_id =
+    match camp_scope with
+    | Some sc -> Recorder.id sc
+    | None -> Span.no_parent
+  in
+  let note_completion ?ckpt_span e =
     Pool_backend.with_lock global (fun () ->
         incr completions;
         (match checkpoint with
-         | Some path -> Checkpoint.append ~path e
+         | Some path -> (
+             match ckpt_span with
+             | Some (r, parent) ->
+               let sc =
+                 Recorder.enter r ~parent Span.Checkpoint_write
+                   "checkpoint-write"
+               in
+               Checkpoint.append ~path e;
+               Recorder.leave r sc
+             | None -> Checkpoint.append ~path e)
          | None -> ());
         match stop_after with
         | Some k when !completions >= k -> stopped := true
@@ -203,12 +245,52 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
           | Some i -> Some (i, true)
           | None -> None)
   in
-  let run_shard w rng i =
+  let run_shard w rng ~stolen i =
     let t = tasks.(i) in
+    let r = orec w in
+    let shard_scope =
+      match r with
+      | None -> None
+      | Some rc ->
+        Some
+          (Recorder.enter rc ~parent:camp_id Span.Shard t.id
+             ~attrs:
+               [ ("worker", Span.Int w);
+                 ("index", Span.Int i);
+                 ("stolen", Span.Bool stolen) ])
+    in
+    let shard_id =
+      match shard_scope with
+      | Some sc -> Recorder.id sc
+      | None -> Span.no_parent
+    in
     let rec attempt_loop attempt =
       stats.(w).a_tasks <- stats.(w).a_tasks + 1;
       attempts.(i) <- attempt;
       let attempt_start = clock () in
+      let att_scope =
+        match r with
+        | None -> None
+        | Some rc ->
+          Some
+            (Recorder.enter rc ~parent:shard_id Span.Attempt
+               (Fmt.str "attempt-%d" attempt)
+               ~attrs:[ ("attempt", Span.Int attempt) ])
+      in
+      (* Deadline margin at the attempt's end: how much of the shard's
+         wall-clock budget was left (negative when it fired). *)
+      let leave_attempt () =
+        match (r, att_scope) with
+        | Some rc, Some sc ->
+          (match shard_deadline with
+           | Some d ->
+             Recorder.add_attr sc "deadline_margin_s"
+               (Span.Float
+                  (d -. Clock.seconds_between attempt_start (clock ())))
+           | None -> ());
+          Recorder.leave rc sc
+        | _ -> ()
+      in
       let check_deadline () =
         let now = clock () in
         if campaign_expired now then
@@ -225,34 +307,78 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
         | Some _ | None -> ()
       in
       let ctx =
-        { shard_id = t.id; shard_index = i; attempt; check_deadline }
+        { shard_id = t.id; shard_index = i; attempt; check_deadline;
+          obs =
+            (match (r, att_scope) with
+             | Some rc, Some sc -> Some (rc, Recorder.id sc)
+             | _ -> None) }
       in
       match t.work ctx with
       | samples ->
         statuses.(i) <- Completed samples;
         finished_by.(i) <- w;
         stats.(w).a_completed <- stats.(w).a_completed + 1;
+        Option.iter
+          (fun sc -> Recorder.add_attr sc "status" (Span.Str "ok"))
+          att_scope;
         note_completion
+          ?ckpt_span:
+            (match (r, att_scope) with
+             | Some rc, Some sc -> Some (rc, Recorder.id sc)
+             | _ -> None)
           { Checkpoint.e_id = t.id; e_index = i; e_attempts = attempt;
-            e_samples = samples }
+            e_seconds = Clock.seconds_between attempt_start (clock ());
+            e_samples = samples };
+        leave_attempt ()
       | exception e ->
         (match e with
          | Deadline_exceeded _ ->
            stats.(w).a_timeouts <- stats.(w).a_timeouts + 1
          | _ -> ());
         let cls = classify e in
+        (match att_scope with
+         | Some sc ->
+           Recorder.add_attr sc "status" (Span.Str "failed");
+           Recorder.add_attr sc "class" (Span.Str (class_name cls));
+           Recorder.add_attr sc "error" (Span.Str (Printexc.to_string e))
+         | None -> ());
         if cls = Transient && attempt < max_attempts then begin
           stats.(w).a_retries <- stats.(w).a_retries + 1;
-          sleep (Backoff.delay backoff ~rng ~attempt);
+          let delay = Backoff.delay backoff ~rng ~attempt in
+          (match (r, att_scope) with
+           | Some rc, Some sc ->
+             let bsc =
+               Recorder.enter rc ~parent:(Recorder.id sc)
+                 Span.Backoff_sleep "backoff-sleep"
+                 ~attrs:
+                   [ ("delay_s", Span.Float delay);
+                     ("attempt", Span.Int attempt) ]
+             in
+             sleep delay;
+             Recorder.leave rc bsc
+           | _ -> sleep delay);
+          leave_attempt ();
           attempt_loop (attempt + 1)
         end
         else begin
           statuses.(i) <-
             Failed { f_exn = Printexc.to_string e; f_class = cls };
-          finished_by.(i) <- w
+          finished_by.(i) <- w;
+          leave_attempt ()
         end
     in
-    attempt_loop 1
+    attempt_loop 1;
+    match (r, shard_scope) with
+    | Some rc, Some sc ->
+      Recorder.add_attr sc "attempts" (Span.Int attempts.(i));
+      Recorder.add_attr sc "status"
+        (Span.Str
+           (match statuses.(i) with
+            | Completed _ -> "completed"
+            | Failed _ -> "failed"
+            | Not_run -> "not-run"));
+      Recorder.leave rc sc
+    | _ -> ()
   in
   let body w =
     (* Worker-local jitter stream: distinct per worker, reproducible
@@ -263,12 +389,28 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
       | None -> ()
       | Some (i, stolen) ->
         if stolen then stats.(w).a_steals <- stats.(w).a_steals + 1;
-        run_shard w rng i;
+        run_shard w rng ~stolen i;
         loop ()
     in
     loop ()
   in
   if n > 0 then Pool_backend.run_workers nw body;
+  (* Close the campaign root and derive the scheduling gauges while the
+     wall time is at hand. *)
+  let campaign_wall_seconds =
+    match (orec 0, camp_scope) with
+    | Some r0, Some sc ->
+      let wall =
+        Clock.seconds_between (Recorder.start_ns sc) (Recorder.now r0)
+      in
+      Recorder.leave r0 sc;
+      wall
+    | _ -> 0.0
+  in
+  (match (obs, registry) with
+   | Some c, Some reg ->
+     Collector.note_gauges c ~wall_seconds:campaign_wall_seconds reg
+   | _ -> ());
   (* Assemble the report: shards in index order, merge in index order —
      this is what makes merged results worker-count-independent. *)
   let shards =
@@ -335,10 +477,6 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
     r_resumed = count (fun s -> s.sh_resumed);
     r_workers = workers_stats;
     r_stopped = Pool_backend.with_lock global (fun () -> !stopped) }
-
-let class_name = function
-  | Transient -> "transient"
-  | Permanent -> "permanent"
 
 let pp_report ppf r =
   Fmt.pf ppf "campaign %S: %d shards — %d completed" r.r_name

@@ -38,6 +38,11 @@ type ctx = {
   check_deadline : unit -> unit;
       (** call between units of work; raises {!Deadline_exceeded} when
           the shard or campaign wall-clock budget is exhausted *)
+  obs : (Elastic_obs.Recorder.t * int) option;
+      (** when span collection is on ([run ~obs]): the executing
+          worker's recorder and the id of the enclosing attempt span,
+          so the task body can record child phase spans (compile,
+          settle, ...) under the attempt *)
 }
 
 type task = {
@@ -115,7 +120,17 @@ type report = {
     @param stop_after simulate a kill: stop dispatching after this many
       locally-completed shards (deterministic on 1 worker).
     @param registry post-run runner-health metrics
-      ([elastic_runner_tasks_total{worker=...}] etc.).
+      ([elastic_runner_tasks_total{worker=...}] etc.); with [obs] also
+      the derived scheduling gauges
+      ([elastic_obs_worker_utilization{worker=...}], queue wait,
+      spans/sec).
+    @param obs span ledger: one single-writer recorder per worker is
+      prepared in the collector, and the run records the
+      [campaign -> shard -> attempt -> {checkpoint-write,
+      backoff-sleep}] hierarchy (worker id, steal provenance, retry
+      counts, failure classification, deadline margins as attributes);
+      task bodies add compile/settle phase spans through [ctx.obs].
+      Off by default and adds nothing to the hot paths when absent.
     @raise Invalid_argument on non-positive [workers]/[max_attempts] or
       duplicate task ids. *)
 val run :
@@ -133,6 +148,7 @@ val run :
   ?command:string ->
   ?stop_after:int ->
   ?registry:Elastic_metrics.Metrics.t ->
+  ?obs:Elastic_obs.Collector.t ->
   name:string ->
   task list ->
   report

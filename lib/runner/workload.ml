@@ -1,6 +1,32 @@
 open Elastic_fault
 module Metrics = Elastic_metrics.Metrics
 module Sampler = Elastic_metrics.Sampler
+module Recorder = Elastic_obs.Recorder
+module Span = Elastic_obs.Span
+
+(* Phase spans are synthesized after the fact from the engine's own
+   Profile totals (captured via Recovery.check ~observer), never by
+   timing the hot loop here: with spans off the settle loop sees zero
+   extra clock reads and zero extra allocation.  The emitted intervals
+   are laid end to end from the observed start and clamped to the
+   observed end, so they stay well nested under the attempt span even
+   when profile totals and wall time disagree by a rounding error. *)
+let emit_phases (rc, attempt_id) ~t0 ~t1 profile =
+  let ns s = Int64.of_float (s *. 1e9) in
+  let c_end =
+    let e = Int64.add t0 (ns (Elastic_sim.Profile.compile_seconds profile)) in
+    if Int64.compare e t1 > 0 then t1 else e
+  in
+  Recorder.emit rc ~parent:attempt_id Span.Compile "compile" ~start_ns:t0
+    ~end_ns:c_end;
+  let s_end =
+    let e =
+      Int64.add c_end (ns (Elastic_sim.Profile.settle_seconds profile))
+    in
+    if Int64.compare e t1 > 0 then t1 else e
+  in
+  Recorder.emit rc ~parent:attempt_id Span.Settle "settle" ~start_ns:c_end
+    ~end_ns:s_end
 
 let of_campaign ?cycles ?settle ?alarms ~name net ~scenarios =
   List.mapi
@@ -9,7 +35,22 @@ let of_campaign ?cycles ?settle ?alarms ~name net ~scenarios =
          work =
            (fun (ctx : Runner.ctx) ->
               ctx.check_deadline ();
-              let report = Recovery.check ?cycles ?settle ?alarms net ~faults in
+              let profile = ref None in
+              let observer e =
+                profile := Some (Elastic_sim.Engine.profile e)
+              in
+              let t0 =
+                match ctx.obs with
+                | Some (rc, _) -> Recorder.now rc
+                | None -> 0L
+              in
+              let report =
+                Recovery.check ?cycles ?settle ?alarms ~observer net ~faults
+              in
+              (match ctx.obs, !profile with
+               | Some ((rc, _) as obs), Some p ->
+                 emit_phases obs ~t0 ~t1:(Recorder.now rc) p
+               | (Some _ | None), _ -> ());
               let reg = Metrics.create () in
               Metrics.Counter.inc
                 (Metrics.counter reg

@@ -105,6 +105,7 @@ let dense_index t cid =
 let create ?(monitor = true) ?(liveness_bound = 64) ?mode ?max_passes
     ?max_cycles ?(clock = Clock.monotonic) net =
   let mode = match mode with Some m -> m | None -> default_mode () in
+  let compile_t0 = clock () in
   (match max_cycles with
    | Some n when n < 0 -> invalid_arg "Engine.create: negative max_cycles"
    | Some _ | None -> ());
@@ -209,6 +210,10 @@ let create ?(monitor = true) ?(liveness_bound = 64) ?mode ?max_passes
               compiled))
     | Levelized | Reference -> None
   in
+  (* Everything above — diagnostics, node compilation, schedule build,
+     arena packing — is the compile phase of this engine's ledger. *)
+  Profile.set_compile_seconds profile
+    (Clock.seconds_between compile_t0 (clock ()));
   { net; ws; compiled; chans; ch_index; monitors; liveness_bound;
     mode;
     schedule;

@@ -7,6 +7,10 @@ type t = {
   mutable cycles : int;
   mutable evals : int;
   mutable settle_seconds : float;
+  mutable compile_seconds : float;
+      (* engine-construction cost (schedule build, arena compile);
+         survives [reset] — compilation happened once, before any
+         window *)
   hist : (int, int) Hashtbl.t;  (* settle passes -> number of cycles *)
   mutable max_passes : int;
   mutable last_passes : int;
@@ -18,6 +22,7 @@ let create ~n_nodes =
     cycles = 0;
     evals = 0;
     settle_seconds = 0.0;
+    compile_seconds = 0.0;
     hist = Hashtbl.create 8;
     max_passes = 0;
     last_passes = 0 }
@@ -51,10 +56,18 @@ let record_cycle t ~passes ~seconds =
   let prev = Option.value ~default:0 (Hashtbl.find_opt t.hist passes) in
   Hashtbl.replace t.hist passes (prev + 1)
 
+let set_compile_seconds t s = t.compile_seconds <- s
+
 let cycles t = t.cycles
 
 let evals t = t.evals
 
+let settle_seconds t = t.settle_seconds
+
+let compile_seconds t = t.compile_seconds
+
+(* Deprecated alias: the name suggested whole-run wall time, but it
+   always returned settle-only time. *)
 let wall_seconds t = t.settle_seconds
 
 let evals_per_cycle t =
@@ -82,9 +95,10 @@ let top_nodes t n =
 let pp ?(name = string_of_int) ppf t =
   Fmt.pf ppf
     "@[<v>%d cycles, %d node evaluations (%.2f evals/cycle, %d nodes)@,\
-     settle wall time %.3f ms (%.2f us/cycle)@,\
+     compile phase %.3f ms, settle phase %.3f ms (%.2f us/cycle)@,\
      settle passes per cycle (max %d):"
     t.cycles t.evals (evals_per_cycle t) t.n_nodes
+    (t.compile_seconds *. 1e3)
     (t.settle_seconds *. 1e3)
     (if t.cycles = 0 then 0.0
      else t.settle_seconds *. 1e6 /. float_of_int t.cycles)

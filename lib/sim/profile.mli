@@ -32,6 +32,12 @@ val add_evals : t -> int -> unit
     single node was evaluated) and its wall-clock duration. *)
 val record_cycle : t -> passes:int -> seconds:float -> unit
 
+(** Engine-construction cost (netlist compile, schedule build, arena
+    packing), stamped once by [Engine.create].  Unlike the per-cycle
+    counters it survives {!reset}: compilation happened once, before
+    any observation window. *)
+val set_compile_seconds : t -> float -> unit
+
 (** {1 Reading} *)
 
 val cycles : t -> int
@@ -42,7 +48,16 @@ val evals : t -> int
 val evals_per_cycle : t -> float
 
 (** Accumulated wall-clock seconds spent in settle phases. *)
+val settle_seconds : t -> float
+
+(** Wall-clock seconds [Engine.create] spent compiling (0 until the
+    engine stamps it). *)
+val compile_seconds : t -> float
+
 val wall_seconds : t -> float
+[@@ocaml.deprecated
+  "misnomer: returns settle-only time; use settle_seconds (or \
+   compile_seconds for the construction phase)"]
 
 (** Worst settle pass count over all cycles. *)
 val max_passes : t -> int

@@ -26,4 +26,5 @@ let () =
       ("metrics", Test_metrics.suite);
       ("blif.cosim", Test_blif_cosim.suite);
       ("lint", Test_lint.suite);
-      ("runner", Test_runner.suite) ]
+      ("runner", Test_runner.suite);
+      ("obs", Test_obs.suite) ]

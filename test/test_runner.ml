@@ -79,7 +79,7 @@ let test_checkpoint_roundtrip () =
   in
   let e i =
     { Checkpoint.e_id = Fmt.str "camp/%04d" i; e_index = i; e_attempts = 1;
-      e_samples = sample_fixture () }
+      e_seconds = 0.25; e_samples = sample_fixture () }
   in
   Checkpoint.write ~path header [ e 0 ];
   Checkpoint.append ~path (e 2);
@@ -104,7 +104,7 @@ let test_checkpoint_truncated_tail () =
   in
   let e =
     { Checkpoint.e_id = "camp/0000"; e_index = 0; e_attempts = 2;
-      e_samples = sample_fixture () }
+      e_seconds = 0.5; e_samples = sample_fixture () }
   in
   Checkpoint.write ~path header [ e ];
   (* Simulate a kill mid-append: a partial line with no newline. *)
