@@ -27,13 +27,17 @@ type session = {
   mutable collector : Elastic_obs.Collector.t option;
       (* Span ledger of the most recent instrumented campaign, kept for
          [spans dump] and the export commands. *)
+  mutable telemetry : Elastic_telemetry.Telemetry.t option;
+      (* Live telemetry hub while [serve] is in effect: campaigns
+         attach their progress plane to it so /metrics, /status and
+         /healthz track the run as it happens. *)
 }
 
 let create () =
   { net = None; design = "netlist"; undo = []; redo = [];
     trace_capacity = None; tracer = None; on_error_continue = false;
     pending_resume = None; eval_mode = None; spans_capacity = None;
-    collector = None }
+    collector = None; telemetry = None }
 
 let current s = s.net
 
@@ -116,15 +120,28 @@ let help =
   campaign storm <n> <seed> [cycles]       flips spread over all channels
                            (sinks named "alarm" act as error detectors:
                            a value >= 2 counts as detection)
-  campaign ... --par <n> [--checkpoint <file>]
+  campaign ... --par <n> [--checkpoint <file>] [--serve <port>]
                            shard the campaign over n workers under the
                            supervised runner: crashing shards are
                            isolated with provenance, transient failures
                            retry with seeded backoff, completed shards
-                           checkpoint to <file> for resume
-  runner status <file>     completeness of a campaign checkpoint, plus a
+                           checkpoint to <file> for resume; --serve
+                           exposes live telemetry for this run (or use
+                           the serve command for a persistent server)
+  serve [port]             start the live telemetry HTTP server on
+                           localhost (default port 8080; port 0 picks
+                           an ephemeral port): /metrics /status
+                           /spans.jsonl /healthz; subsequent campaign
+                           --par runs publish progress + heartbeats to
+                           it, and a watchdog flips /healthz to 503
+                           when a running shard stalls
+  serve stop               stop the telemetry server
+  runner status <file> [--json]
+                           completeness of a campaign checkpoint, plus a
                            per-shard outcome digest (retries, slowest
-                           shard, total attempt seconds)
+                           shard, total attempt seconds); --json emits
+                           the elastic-speculation/status/v1 document
+                           the live /status endpoint also serves
   runner resume <file>     re-run the campaign command stored in the
                            checkpoint, adopting completed shards instead
                            of recomputing them
@@ -161,7 +178,8 @@ let commands =
     "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
     "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch"; "mode";
     "cycletime"; "area"; "bound"; "critical"; "verify"; "lint"; "inject";
-    "campaign"; "runner"; "spans"; "on-error"; "dot"; "verilog"; "blif";
+    "campaign"; "serve"; "runner"; "spans"; "on-error"; "dot"; "verilog";
+    "blif";
     "smv";
     "undo"; "redo"; "help"; "quit"; "exit" ]
 
@@ -494,37 +512,41 @@ let campaign_summary net summary =
 let campaign_usage =
   "usage: campaign flips <channel> <count> <seed> [cycles] | campaign \
    storm <count> <seed> [cycles] — append --par <workers> \
-   [--checkpoint <file>] to shard under the supervised runner"
+   [--checkpoint <file>] [--serve <port>] to shard under the \
+   supervised runner (with live telemetry)"
 
-(* Split "campaign flips a 20 7 --par 4 --checkpoint f" into the
-   positional arguments and the runner options. *)
+(* Split "campaign flips a 20 7 --par 4 --checkpoint f --serve 0" into
+   the positional arguments and the runner options (options may appear
+   in any order after the positionals they follow). *)
 let campaign_options rest =
   let ( let* ) = Result.bind in
-  let rec split pos = function
-    | [] -> Ok (List.rev pos, None, None)
+  let rec split pos par ckpt serve = function
+    | [] -> Ok (List.rev pos, par, ckpt, serve)
     | "--par" :: n :: tail ->
-      let* par = int_arg "--par" n in
-      if par < 1 then Error "--par must be >= 1"
-      else
-        let* ckpt =
-          match tail with
-          | [] -> Ok None
-          | [ "--checkpoint"; f ] -> Ok (Some f)
-          | _ -> Error campaign_usage
-        in
-        Ok (List.rev pos, Some par, ckpt)
-    | ("--par" | "--checkpoint") :: _ -> Error campaign_usage
-    | w :: tail -> split (w :: pos) tail
+      let* p = int_arg "--par" n in
+      if p < 1 then Error "--par must be >= 1"
+      else split pos (Some p) ckpt serve tail
+    | "--checkpoint" :: f :: tail -> split pos par (Some f) serve tail
+    | "--serve" :: p :: tail ->
+      let* port = int_arg "--serve" p in
+      if port < 0 || port > 65535 then
+        Error "--serve port must be in 0..65535 (0 picks an ephemeral \
+               port)"
+      else split pos par ckpt (Some port) tail
+    | ("--par" | "--checkpoint" | "--serve") :: [] -> Error campaign_usage
+    | w :: tail -> split (w :: pos) par ckpt serve tail
   in
-  split [] rest
+  split [] None None None rest
 
 (* A sharded campaign under the supervised runner: one task per
    scenario, merged in shard-index order (so the histogram is identical
    to the sequential campaign's at any worker count), with a
    completeness report instead of a silent partial answer. *)
-let campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios =
+let campaign_par_run s net ~kind ~rest ~par ~ckpt ~serve ~cycles scenarios =
   let module Runner = Elastic_runner.Runner in
   let module Workload = Elastic_runner.Workload in
+  let module Telemetry = Elastic_telemetry.Telemetry in
+  let ( let* ) = Result.bind in
   let name = Fmt.str "campaign-%s" kind in
   let command = String.concat " " ("campaign" :: kind :: rest) in
   let resume = s.pending_resume in
@@ -539,11 +561,57 @@ let campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios =
          Elastic_obs.Collector.create ~capacity_per_track ())
       s.spans_capacity
   in
+  (* Live telemetry: attach the run to the session's [serve] hub if one
+     is up, or stand up an ephemeral server for just this run when
+     [--serve] asked for one. *)
+  let* hub, ephemeral =
+    match serve, s.telemetry with
+    | Some _, Some hub ->
+      Error
+        (Fmt.str
+           "telemetry server already on port %d — drop --serve (the \
+            campaign publishes there) or serve stop first"
+           (Option.value ~default:0 (Telemetry.port hub)))
+    | Some port, None -> (
+        let hub = Telemetry.create () in
+        match Telemetry.start ~port hub with
+        | Ok _ -> Ok (Some hub, true)
+        | Error m -> Error m)
+    | None, Some hub -> Ok (Some hub, false)
+    | None, None -> Ok (None, false)
+  in
+  let progress =
+    match hub with
+    | None -> None
+    | Some hub ->
+      let ids =
+        Array.of_list
+          (List.map (fun (t : Runner.task) -> t.Runner.id) tasks)
+      in
+      let p = Elastic_runner.Progress.create ~name ~ids () in
+      Telemetry.set_progress hub (Some p);
+      (match obs with
+       | Some c -> Telemetry.set_collector hub (Some c)
+       | None -> ());
+      Some p
+  in
+  let serve_lines =
+    match hub with
+    | Some h when ephemeral ->
+      [ Fmt.str "telemetry: served http://127.0.0.1:%d during the run"
+          (Option.value ~default:0 (Telemetry.port h)) ]
+    | _ -> []
+  in
   let clock = Elastic_sim.Clock.monotonic in
   let t0 = clock () in
   let r =
-    Runner.run ~workers:par ?checkpoint:ckpt ?resume ?obs ~command ~name
-      tasks
+    Fun.protect
+      ~finally:(fun () ->
+          if ephemeral then Option.iter Telemetry.stop hub)
+      (fun () ->
+         Runner.run ~workers:par ?checkpoint:ckpt ?resume ?obs
+           ?registry:(Option.map Telemetry.registry hub)
+           ?progress ~command ~name tasks)
   in
   let wall_seconds = Elastic_sim.Clock.seconds_between t0 (clock ()) in
   let histogram = Workload.classification_histogram r.Runner.r_merged in
@@ -568,7 +636,7 @@ let campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios =
   let body =
     (Fmt.str "@[<v>%a@]" Runner.pp_report r :: "classification histogram:"
      :: hist_lines)
-    @ span_lines
+    @ span_lines @ serve_lines
     @
     match ckpt with
     | Some f -> [ Fmt.str "checkpoint: %s" f ]
@@ -580,7 +648,7 @@ let campaign_cmd s net kind rest =
   let open Elastic_fault in
   let ( let* ) = Result.bind in
   let usage = campaign_usage in
-  let* positional, par, ckpt = campaign_options rest in
+  let* positional, par, ckpt, serve = campaign_options rest in
   let* scenarios, cycles =
     match kind, positional with
     | "flips", (ch :: cnt :: seed :: tail) when List.length tail <= 1 ->
@@ -608,9 +676,11 @@ let campaign_cmd s net kind rest =
   in
   match par with
   | Some par ->
-    campaign_par_run s net ~kind ~rest ~par ~ckpt ~cycles scenarios
+    campaign_par_run s net ~kind ~rest ~par ~ckpt ~serve ~cycles scenarios
   | None when ckpt <> None ->
     Error "--checkpoint requires --par (the supervised runner)"
+  | None when serve <> None ->
+    Error "--serve requires --par (the supervised runner)"
   | None ->
     let summary =
       Campaign.run ~cycles ~settle:60 ~alarms:(alarms_of net) net
@@ -1317,9 +1387,58 @@ let rec execute_cmd s line =
   | "campaign" :: kind :: rest ->
     with_net s (fun net -> campaign_cmd s net kind rest)
   | [ "campaign" ] -> Error campaign_usage
+  | [ "serve"; "stop" ] -> (
+      match s.telemetry with
+      | None -> Error "no telemetry server running"
+      | Some hub ->
+        Elastic_telemetry.Telemetry.stop hub;
+        s.telemetry <- None;
+        Ok "telemetry server stopped")
+  | [ "serve" ] | [ "serve"; _ ] -> (
+      let module Telemetry = Elastic_telemetry.Telemetry in
+      match
+        match words with
+        | [ _; p ] -> int_arg "port" p
+        | _ -> Ok 8080
+      with
+      | Error m -> Error m
+      | Ok port when port < 0 || port > 65535 ->
+        Error "port must be in 0..65535 (0 picks an ephemeral port)"
+      | Ok port -> (
+          match s.telemetry with
+          | Some hub ->
+            Error
+              (Fmt.str "telemetry server already on port %d (serve stop \
+                        first)"
+                 (Option.value ~default:0 (Telemetry.port hub)))
+          | None -> (
+              let hub = Telemetry.create () in
+              (* Expose whatever span ledger the session already has. *)
+              (match s.collector with
+               | Some c -> Telemetry.set_collector hub (Some c)
+               | None -> ());
+              match Telemetry.start ~port hub with
+              | Error m -> Error m
+              | Ok bound ->
+                s.telemetry <- Some hub;
+                Ok
+                  (Fmt.str
+                     "telemetry server on http://127.0.0.1:%d — \
+                      /metrics /status /spans.jsonl /healthz (campaign \
+                      --par runs publish live progress here)"
+                     bound))))
   | [ "runner"; "status"; file ] -> (
       match Elastic_runner.Checkpoint.load file with
       | Ok cp -> Ok (Fmt.str "%a" Elastic_runner.Checkpoint.pp_status cp)
+      | Error m -> Error (Fmt.str "%s: %s" file m))
+  | [ "runner"; "status"; file; "--json" ] -> (
+      (* The same elastic-speculation/status/v1 document the live
+         /status endpoint serves, derived from the checkpoint. *)
+      match Elastic_runner.Checkpoint.load file with
+      | Ok cp ->
+        Ok
+          (Elastic_metrics.Json.to_string
+             (Elastic_runner.Status.of_checkpoint cp))
       | Error m -> Error (Fmt.str "%s: %s" file m))
   | [ "runner"; "resume"; file ] -> (
       match Elastic_runner.Checkpoint.load file with
@@ -1338,7 +1457,9 @@ let rec execute_cmd s line =
               ~finally:(fun () -> s.pending_resume <- None)
               (fun () -> execute_cmd s cmd)))
   | "runner" :: _ ->
-    Error "usage: runner status <checkpoint> | runner resume <checkpoint>"
+    Error
+      "usage: runner status <checkpoint> [--json] | runner resume \
+       <checkpoint>"
   | [ "on-error"; "continue" ] ->
     s.on_error_continue <- true;
     Ok "scripts now continue past failing lines (reported per line)"

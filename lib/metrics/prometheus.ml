@@ -42,6 +42,27 @@ let kind_text (s : Metrics.sample) =
   | Metrics.Histogram _ -> "histogram"
 
 let render samples =
+  (* The exposition format requires every series of a family to form
+     one contiguous block; a registry can interleave families (a
+     labeled child registered after some other family appeared), so
+     group by family first, in first-appearance order. *)
+  let order = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+       if not (Hashtbl.mem order s.Metrics.m_name) then begin
+         Hashtbl.replace order s.Metrics.m_name !next;
+         incr next
+       end)
+    samples;
+  let samples =
+    List.stable_sort
+      (fun (a : Metrics.sample) (b : Metrics.sample) ->
+         compare
+           (Hashtbl.find order a.Metrics.m_name)
+           (Hashtbl.find order b.Metrics.m_name))
+      samples
+  in
   let b = Buffer.create 4096 in
   let seen_header = Hashtbl.create 16 in
   List.iter

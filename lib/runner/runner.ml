@@ -87,7 +87,8 @@ type w_acc = {
 let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
     ?(seed = 2009) ?(classify = default_classify) ?shard_deadline
     ?campaign_deadline ?(clock = Clock.monotonic) ?(sleep = Unix.sleepf)
-    ?checkpoint ?resume ?command ?stop_after ?registry ?obs ~name tasks =
+    ?checkpoint ?resume ?command ?stop_after ?registry ?obs ?progress
+    ~name tasks =
   let nw =
     match workers with
     | Some w when w <= 0 -> invalid_arg "Runner.run: non-positive workers"
@@ -98,6 +99,12 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
     invalid_arg "Runner.run: max_attempts must be >= 1";
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
+  (match progress with
+   | Some p when Progress.shards p <> n ->
+     invalid_arg
+       (Fmt.str "Runner.run: progress plane has %d shards, campaign has %d"
+          (Progress.shards p) n)
+   | Some _ | None -> ());
   let ids = Hashtbl.create n in
   Array.iter
     (fun t ->
@@ -127,6 +134,9 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
        | Some (e : Checkpoint.entry) ->
          statuses.(i) <- Completed e.e_samples;
          resumed.(i) <- true;
+         (match progress with
+          | Some p -> Progress.adopt p ~shard:i e.e_samples
+          | None -> ());
          carried := { e with Checkpoint.e_index = i } :: !carried
        | None -> ())
     tasks;
@@ -267,6 +277,9 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
     let rec attempt_loop attempt =
       stats.(w).a_tasks <- stats.(w).a_tasks + 1;
       attempts.(i) <- attempt;
+      (match progress with
+       | Some p -> Progress.start_shard p ~shard:i ~worker:w ~attempt
+       | None -> ());
       let attempt_start = clock () in
       let att_scope =
         match r with
@@ -293,6 +306,11 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
       in
       let check_deadline () =
         let now = clock () in
+        (* Heartbeat for the telemetry watchdog, reusing the reading the
+           deadline check just made — no extra clock traffic. *)
+        (match progress with
+         | Some p -> Progress.beat_at p ~shard:i now
+         | None -> ());
         if campaign_expired now then
           raise
             (Deadline_exceeded
@@ -318,6 +336,10 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
         statuses.(i) <- Completed samples;
         finished_by.(i) <- w;
         stats.(w).a_completed <- stats.(w).a_completed + 1;
+        let seconds = Clock.seconds_between attempt_start (clock ()) in
+        (match progress with
+         | Some p -> Progress.complete p ~shard:i ~seconds samples
+         | None -> ());
         Option.iter
           (fun sc -> Recorder.add_attr sc "status" (Span.Str "ok"))
           att_scope;
@@ -327,7 +349,7 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
              | Some rc, Some sc -> Some (rc, Recorder.id sc)
              | _ -> None)
           { Checkpoint.e_id = t.id; e_index = i; e_attempts = attempt;
-            e_seconds = Clock.seconds_between attempt_start (clock ());
+            e_seconds = seconds;
             e_samples = samples };
         leave_attempt ()
       | exception e ->
@@ -364,6 +386,9 @@ let run ?workers ?(max_attempts = 3) ?(backoff = Backoff.default)
           statuses.(i) <-
             Failed { f_exn = Printexc.to_string e; f_class = cls };
           finished_by.(i) <- w;
+          (match progress with
+           | Some p -> Progress.fail p ~shard:i
+           | None -> ());
           leave_attempt ()
         end
     in

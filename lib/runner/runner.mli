@@ -131,8 +131,17 @@ type report = {
       counts, failure classification, deadline margins as attributes);
       task bodies add compile/settle phase spans through [ctx.obs].
       Off by default and adds nothing to the hot paths when absent.
-    @raise Invalid_argument on non-positive [workers]/[max_attempts] or
-      duplicate task ids. *)
+    @param progress live progress plane (see {!Progress}): workers
+      publish per-shard state transitions and heartbeats as they go —
+      attempt starts, every [ctx.check_deadline] call (reusing the
+      clock reading the deadline check already made, so no extra clock
+      reads), completions and failures — and checkpoint-adopted shards
+      appear [Completed] before the workers start.  The telemetry
+      server reads it concurrently.  Off by default and adds nothing
+      when absent.
+    @raise Invalid_argument on non-positive [workers]/[max_attempts],
+      duplicate task ids, or a [progress] plane sized for a different
+      shard count. *)
 val run :
   ?workers:int ->
   ?max_attempts:int ->
@@ -149,6 +158,7 @@ val run :
   ?stop_after:int ->
   ?registry:Elastic_metrics.Metrics.t ->
   ?obs:Elastic_obs.Collector.t ->
+  ?progress:Progress.t ->
   name:string ->
   task list ->
   report

@@ -1,0 +1,95 @@
+type request = {
+  meth : string;
+  target : string;
+}
+
+type error =
+  | Incomplete
+  | Too_long
+  | Malformed of string
+
+let max_head_bytes = 8192
+
+(* Index just past the first line terminator ("\r\n" or bare "\n"), or
+   None.  Scanning for '\n' covers both forms. *)
+let line_end buf =
+  String.index_opt buf '\n'
+
+let head_complete buf =
+  (* End of the header block: an empty line.  Tolerate bare-LF clients
+     (netcat, hand-typed requests) alongside strict CRLF. *)
+  let n = String.length buf in
+  let rec scan i =
+    if i + 1 >= n then false
+    else if buf.[i] = '\n' && buf.[i + 1] = '\n' then true
+    else if
+      i + 3 < n
+      && buf.[i] = '\r' && buf.[i + 1] = '\n'
+      && buf.[i + 2] = '\r' && buf.[i + 3] = '\n'
+    then true
+    else scan (i + 1)
+  in
+  (* A request whose very first line is empty is malformed, caught by
+     the request-line parse below; completeness only needs the blank
+     separator line to exist somewhere. *)
+  scan 0
+
+let is_token_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c = '-'
+
+let validate_request_line line =
+  (* "<METHOD> <target> HTTP/1.x", single spaces, no control bytes. *)
+  let line =
+    (* Strip the \r of a CRLF terminator. *)
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.exists (fun c -> Char.code c < 0x20 || Char.code c = 0x7f) line
+  then Error (Malformed "control byte in request line")
+  else
+    match String.split_on_char ' ' line with
+    | [ meth; target; version ] ->
+      if meth = "" || not (String.for_all is_token_char meth) then
+        Error (Malformed "bad method token")
+      else if String.length target = 0 || target.[0] <> '/' then
+        Error (Malformed "request target must start with '/'")
+      else if
+        not
+          (String.length version >= 7
+           && String.equal (String.sub version 0 7) "HTTP/1.")
+      then Error (Malformed "unsupported protocol version")
+      else Ok { meth; target }
+    | _ -> Error (Malformed "request line is not <method> <target> <version>")
+
+let parse buf =
+  match line_end buf with
+  | None ->
+    if String.length buf > max_head_bytes then Error Too_long
+    else Error Incomplete
+  | Some eol -> (
+      (* The request line is in hand: reject garbage immediately (the
+         server answers 400 without waiting for more bytes), otherwise
+         wait for the blank line ending the header block. *)
+      match validate_request_line (String.sub buf 0 eol) with
+      | Error _ as e -> e
+      | Ok req ->
+        if head_complete buf then Ok req
+        else if String.length buf > max_head_bytes then Error Too_long
+        else Error Incomplete)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    body =
+  Fmt.str
+    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    status (status_reason status) content_type (String.length body) body

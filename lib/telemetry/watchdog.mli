@@ -1,0 +1,41 @@
+(** Campaign heartbeat watchdog.
+
+    Self-detection of stalled progress in bounded time, in the spirit
+    of the self-stabilizing speculation line (Dubois & Guerraoui): a
+    {e running} shard whose last heartbeat is older than the deadline
+    is stalled — a hung worker, a deadlocked engine, a killed domain —
+    and the system should say so itself rather than wait for the
+    campaign to (never) finish.
+
+    The watchdog is pure polling state over an
+    {!Elastic_runner.Progress} plane: {!check} performs one pass —
+    exactly one reading of the {e progress plane's} clock, compared
+    against each running shard's last heartbeat — flips {!healthy} and
+    moves the [elastic_watchdog_stalls_total] counter once per
+    transition into the stalled state (an episode, not a poll).  A
+    shard that beats again, completes or fails clears its flag, so
+    health recovers without restart.  The telemetry server calls
+    {!check} from its poll loop and on every [/healthz] and [/status]
+    request; tests drive it deterministically with [Clock.ticker]. *)
+
+type t
+
+(** @param deadline_s heartbeat budget in seconds (default [5.0]).
+    @param registry where [elastic_watchdog_stalls_total] registers.
+    @raise Invalid_argument on a non-positive deadline. *)
+val create :
+  ?deadline_s:float ->
+  registry:Elastic_metrics.Metrics.t ->
+  Elastic_runner.Progress.t ->
+  t
+
+val deadline_s : t -> float
+
+(** One pass over all shards; updates {!healthy} and the counter. *)
+val check : t -> unit
+
+(** Verdict of the most recent {!check} ([true] before the first). *)
+val healthy : t -> bool
+
+(** Stall episodes so far (the counter's value). *)
+val stalls : t -> int

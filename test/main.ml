@@ -27,4 +27,5 @@ let () =
       ("blif.cosim", Test_blif_cosim.suite);
       ("lint", Test_lint.suite);
       ("runner", Test_runner.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite) ]

@@ -176,10 +176,14 @@ let test_instruments_allocation_free () =
     spin n;
     Gc.minor_words () -. before
   in
-  (* Equal totals for 100x the updates = zero words per update; only
-     the measurement overhead remains, and it is identical. *)
-  Alcotest.(check (float 0.0)) "counter/gauge/histogram updates are free"
-    (words 10_000) (words 1_000_000)
+  (* Zero words per update: the growth from 10k to 1M updates must be
+     (almost) nothing.  A real allocation costs >= 2 words per update
+     = ~2e6 words here; the tolerance only absorbs the few words of
+     ambient noise the linked systhreads tick thread can inject into a
+     long measurement window. *)
+  let per_update = (words 1_000_000 -. words 10_000) /. 990_000.0 in
+  Alcotest.(check (float 0.001)) "counter/gauge/histogram updates are free"
+    0.0 per_update
 
 (* --- JSON round-trip ----------------------------------------------- *)
 
@@ -571,10 +575,6 @@ let test_clock_injection () =
      the same ticker: the compile phase is one deterministic step. *)
   Alcotest.(check (float 1e-12)) "deterministic compile clock" 1.0e-6
     (Elastic_sim.Profile.compile_seconds p);
-  (* The deprecated alias stays wired to settle-only time. *)
-  Alcotest.(check (float 1e-12)) "wall_seconds aliases settle_seconds"
-    (Elastic_sim.Profile.settle_seconds p)
-    ((Elastic_sim.Profile.wall_seconds [@ocaml.warning "-3"]) p);
   let t = Elastic_sim.Clock.monotonic () in
   let t' = Elastic_sim.Clock.monotonic () in
   Alcotest.(check bool) "monotonic clock does not go back" true
