@@ -45,9 +45,24 @@ let check ?(cycles = 300) a b =
     | None, None ->
       let rec compare_sinks acc = function
         | [] ->
-          Ok
-            { cycles; matched_sinks = List.map fst sa;
-              transfers = List.rev acc }
+          let transfers = List.rev acc in
+          (* A comparison that observed no traffic proves nothing: empty
+             streams are trivially prefix-equivalent.  Refuse to report
+             equivalence vacuously. *)
+          if
+            transfers = []
+            || List.for_all (fun (_, na, nb) -> na = 0 && nb = 0) transfers
+          then
+            Error
+              (Fmt.str
+                 "vacuous check: %s in %d cycles — the runs prove \
+                  nothing (stalled designs are \"equivalent\" to \
+                  everything); extend the run or fix the designs"
+                 (if transfers = [] then "no sinks matched"
+                  else "no sink transferred a single token")
+                 cycles)
+          else
+            Ok { cycles; matched_sinks = List.map fst sa; transfers }
         | ((name, ida), (_, idb)) :: rest ->
           let ta = Engine.sink_stream ea ida in
           let tb = Engine.sink_stream eb idb in

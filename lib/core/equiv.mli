@@ -17,7 +17,10 @@ type report = {
 
 (** [check ?cycles a b] co-simulates for [cycles] (default 300) cycles.
     Returns [Error message] when a sink pair disagrees, when sink names do
-    not match up, or when either run reports protocol violations. *)
+    not match up, or when either run reports protocol violations.  A
+    {e vacuous} run — no sinks matched, or every matched sink observed
+    zero transfers on both sides — is also an error: empty streams are
+    trivially prefix-equivalent and prove nothing. *)
 val check : ?cycles:int -> Netlist.t -> Netlist.t -> (report, string) result
 
 (** Like {!check} but raises [Failure] with the message. *)

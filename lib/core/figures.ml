@@ -82,7 +82,7 @@ let fig1a ?(params = default_params) () =
   Netlist.validate_exn net;
   { net; mux; eb; sink; shared = None }
 
-let fig1b ?params () =
+let fig1b ?cert ?params () =
   let h = fig1a ?params () in
   (* Insert the bubble in the critical cycle, on the mux -> F channel. *)
   let f =
@@ -95,18 +95,18 @@ let fig1b ?params () =
     | Some c -> c.Netlist.ch_id
     | None -> assert false
   in
-  let net, _ = Transform.insert_bubble h.net ~channel:c in
+  let net, _ = Transform.insert_bubble ?cert h.net ~channel:c in
   Netlist.validate_exn net;
   { h with net }
 
-let fig1c ?params () =
+let fig1c ?cert ?params () =
   let h = fig1a ?params () in
-  let net, _copies = Transform.shannon h.net ~mux:h.mux in
-  let net = Transform.early_evaluation net ~mux:h.mux in
+  let net, _copies = Transform.shannon ?cert h.net ~mux:h.mux in
+  let net = Transform.early_evaluation ?cert net ~mux:h.mux in
   Netlist.validate_exn net;
   { h with net }
 
-let fig1d ?(params = default_params) ?sched () =
+let fig1d ?cert ?(params = default_params) ?sched () =
   let h = fig1a ~params () in
   let sched =
     match sched with
@@ -114,7 +114,7 @@ let fig1d ?(params = default_params) ?sched () =
     | None ->
       Scheduler.Noisy_oracle { sel = params.sel; accuracy_pct = 100; seed = 1 }
   in
-  let r = Speculation.speculate h.net ~mux:h.mux ~sched in
+  let r = Speculation.speculate ?cert h.net ~mux:h.mux ~sched in
   { h with net = r.Speculation.net; shared = Some r.Speculation.shared }
 
 (* ------------------------------------------------------------------ *)

@@ -1,5 +1,6 @@
 open Elastic_sched
 open Elastic_netlist
+open Elastic_check
 
 (** Builders for the paper's running example (Fig. 1) and the Table 1
     trace.
@@ -34,17 +35,20 @@ type handles = {
 val fig1a : ?params:params -> unit -> handles
 
 (** Fig. 1(b): bubble inserted in the critical cycle — better cycle time,
-    throughput drops to 1/2. *)
-val fig1b : ?params:params -> unit -> handles
+    throughput drops to 1/2.  With [?cert], the derivation from (a) is
+    recorded for {!Elastic_check.Flow.verify}. *)
+val fig1b : ?cert:Cert.builder -> ?params:params -> unit -> handles
 
 (** Fig. 1(c): Shannon decomposition + early evaluation — optimal
     performance, duplicated logic. *)
-val fig1c : ?params:params -> unit -> handles
+val fig1c : ?cert:Cert.builder -> ?params:params -> unit -> handles
 
 (** Fig. 1(d): variant (c) with the copies of F shared behind a
     speculation scheduler (default: a perfect oracle over [params.sel]).
     Equals [Speculation.speculate] applied to (a). *)
-val fig1d : ?params:params -> ?sched:Scheduler.spec -> unit -> handles
+val fig1d :
+  ?cert:Cert.builder -> ?params:params -> ?sched:Scheduler.spec -> unit ->
+  handles
 
 (** {1 Table 1} *)
 

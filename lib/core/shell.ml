@@ -102,6 +102,21 @@ let help =
   critical                 critical cycle of the marked graph
   verify                   exhaustive state exploration (protocol,
                            deadlock, starvation)
+  prove [chain]            statically check the bundled certificate
+                           chains (fig1b fig1c fig1d vl-slack
+                           rs-slack): re-validate every recorded
+                           step's side conditions and replay it on the
+                           channel graph — zero engine cycles; E4xx
+                           diagnostics name the first failing step
+  prove jsonl <file>       write every chain's proof as JSONL
+                           (schema elastic-speculation/proof/v1)
+  equiv <design> [cycles]  co-simulate the loaded netlist against a
+                           predefined design and compare sink streams
+                           (transfer equivalence, Section 3.1)
+  equiv <design> --static  static mode instead: normalize both netlists
+                           by confluent empty-buffer removal and compare
+                           canonical forms (decides buffer-insertion
+                           differences without simulating)
   lint                     static analysis: structural, SELF-invariant
                            and speculation rules (E/W/I codes); fails on
                            error findings (script exit code 1)
@@ -177,7 +192,8 @@ let commands =
     "convert"; "fifo"; "retime-fwd"; "retime-bwd"; "shannon"; "early";
     "share"; "speculate"; "save"; "open"; "throughput"; "stats"; "trace";
     "vcd"; "timeline"; "attribute"; "profile"; "metrics"; "watch"; "mode";
-    "cycletime"; "area"; "bound"; "critical"; "verify"; "lint"; "inject";
+    "cycletime"; "area"; "bound"; "critical"; "verify"; "prove"; "equiv";
+    "lint"; "inject";
     "campaign"; "serve"; "runner"; "spans"; "on-error"; "dot"; "verilog";
     "blif";
     "smv";
@@ -1294,6 +1310,91 @@ let rec execute_cmd s line =
             in
             Ok
               (Fmt.str "%a@.%s" Elastic_check.Explore.pp_outcome o verdict)))
+  | [ "prove" ] ->
+    catch (fun () ->
+        let results =
+          List.map (fun c -> (c, Derivations.verify c)) (Derivations.all ())
+        in
+        let render ((c : Derivations.chain), r) =
+          match r with
+          | Ok p -> Fmt.str "%a" Elastic_check.Flow.pp_proof p
+          | Error d ->
+            Fmt.str "%s: REFUTED %s" c.Derivations.c_name
+              (Diagnostic.to_string d)
+        in
+        let text = String.concat "\n" (List.map render results) in
+        if List.for_all (fun (_, r) -> Result.is_ok r) results then Ok text
+        else Error text)
+  | [ "prove"; "jsonl"; file ] ->
+    catch (fun () ->
+        let chains = Derivations.all () in
+        let oc = open_out file in
+        List.iter
+          (fun (c : Derivations.chain) ->
+             output_string oc
+               (Elastic_check.Flow.jsonl ~design:c.Derivations.c_name
+                  ~cert:c.Derivations.c_cert (Derivations.verify c)))
+          chains;
+        close_out oc;
+        Ok (Fmt.str "wrote %s (%d chains)" file (List.length chains)))
+  | [ "prove"; name ] ->
+    catch (fun () ->
+        match Derivations.find name with
+        | None ->
+          Error
+            (Fmt.str "unknown chain %S (available: %s)" name
+               (String.concat ", "
+                  (List.map
+                     (fun (c : Derivations.chain) -> c.Derivations.c_name)
+                     (Derivations.all ()))))
+        | Some c -> (
+            match Derivations.verify c with
+            | Ok p ->
+              Ok
+                (Fmt.str "%s@.%a" c.Derivations.c_describe
+                   Elastic_check.Flow.pp_proof p)
+            | Error d -> Error (Diagnostic.to_string d)))
+  | [ "equiv" ] -> Error "usage: equiv <design> [--static|cycles]"
+  | "equiv" :: design :: rest ->
+    with_net s (fun net ->
+        match List.assoc_opt design designs with
+        | None ->
+          Error
+            (Fmt.str "unknown design %S (available: %s)" design
+               (String.concat ", " (List.map fst designs)))
+        | Some build ->
+          catch (fun () ->
+              let other = build () in
+              let tag = Fmt.str "%s-vs-%s" s.design design in
+              match rest with
+              | [ "--static" ] -> (
+                  match
+                    Elastic_check.Flow.equiv_static ~design:tag net other
+                  with
+                  | Ok p -> Ok (Fmt.str "%a" Elastic_check.Flow.pp_proof p)
+                  | Error d -> Error (Diagnostic.to_string d))
+              | [] | [ _ ] -> (
+                  match
+                    match rest with
+                    | [] -> Some 300
+                    | [ c ] -> int_of_string_opt c
+                    | _ -> None
+                  with
+                  | None -> Error "usage: equiv <design> [--static|cycles]"
+                  | Some cycles -> (
+                      match Equiv.check ~cycles net other with
+                      | Ok r ->
+                        Ok
+                          (Fmt.str
+                             "transfer equivalent over %d cycles: %s"
+                             r.Equiv.cycles
+                             (String.concat ", "
+                                (List.map
+                                   (fun (n, a, b) ->
+                                      Fmt.str "%s %d/%d" n a b)
+                                   r.Equiv.transfers)))
+                      | Error m -> Error m))
+              | _ -> Error "usage: equiv <design> [--static|cycles]"))
   | [ "lint" ] ->
     with_net s (fun net ->
         let report = Elastic_lint.Lint.run net in

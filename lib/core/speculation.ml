@@ -88,18 +88,18 @@ type result = {
   mux : Netlist.node_id;
 }
 
-let speculate net ~mux ~sched =
-  let net, copies = Transform.shannon net ~mux in
-  let net = Transform.early_evaluation net ~mux in
-  let net, shared = Transform.share net ~blocks:copies ~sched in
+let speculate ?cert net ~mux ~sched =
+  let net, copies = Transform.shannon ?cert net ~mux in
+  let net = Transform.early_evaluation ?cert net ~mux in
+  let net, shared = Transform.share ?cert net ~blocks:copies ~sched in
   Netlist.validate_exn net;
   { net; shared; mux }
 
-let speculate_auto net ~sched =
+let speculate_auto ?cert net ~sched =
   match
     List.sort
       (fun a b -> Float.compare b.cycle_delay a.cycle_delay)
       (candidates net)
   with
   | [] -> invalid_arg "Speculation.speculate_auto: no candidate found"
-  | c :: _ -> speculate net ~mux:c.mux ~sched
+  | c :: _ -> speculate ?cert net ~mux:c.mux ~sched

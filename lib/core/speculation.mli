@@ -1,5 +1,6 @@
 open Elastic_sched
 open Elastic_netlist
+open Elastic_check
 
 (** The complete speculation recipe of §4:
 
@@ -39,11 +40,15 @@ type result = {
 }
 
 (** [speculate net ~mux ~sched] applies steps 2-4 to the given
-    multiplexor.  @raise Invalid_argument if the block after the mux is
-    not a movable unary function. *)
+    multiplexor.  With [?cert], the underlying transformations append
+    their certificate steps (shannon, early-eval, share) for
+    {!Elastic_check.Flow.verify}.  @raise Invalid_argument if the block
+    after the mux is not a movable unary function. *)
 val speculate :
+  ?cert:Cert.builder ->
   Netlist.t -> mux:Netlist.node_id -> sched:Scheduler.spec -> result
 
 (** [speculate_auto net ~sched] picks the candidate with the largest cycle
     delay.  @raise Invalid_argument when there is no candidate. *)
-val speculate_auto : Netlist.t -> sched:Scheduler.spec -> result
+val speculate_auto :
+  ?cert:Cert.builder -> Netlist.t -> sched:Scheduler.spec -> result

@@ -1,6 +1,18 @@
 open Elastic_netlist
+open Elastic_check
 
-let insert_buffer net ~channel ~buffer ~init =
+(* Certificate recording.  Every entry point appends its typed step
+   AFTER the rewrite succeeded — prechecks raise Diagnostic.Reject
+   before any mutation, so a rejected application leaves the builder
+   exactly as it was. *)
+let record cert ~before ~after kind =
+  match cert with
+  | None -> ()
+  | Some b -> Cert.record b ~before ~after kind
+
+(* The raw splice shared by the public entry point and the retimings
+   (which record their own composite step instead). *)
+let insert_buffer_raw net ~channel ~buffer ~init =
   let c = Netlist.channel net channel in
   let net, b =
     Netlist.add_node net (Netlist.Buffer { buffer; init })
@@ -13,17 +25,45 @@ let insert_buffer net ~channel ~buffer ~init =
   in
   (net, b)
 
-let insert_bubble net ~channel =
-  insert_buffer net ~channel ~buffer:Netlist.Eb ~init:[]
+let insert_buffer ?cert net ~channel ~buffer ~init =
+  match cert with
+  | None -> insert_buffer_raw net ~channel ~buffer ~init
+  | Some _ ->
+    if init <> [] then
+      invalid_arg
+        "Transform.insert_buffer: inserting a token-holding buffer \
+         changes the transfer streams; no flow-equivalence lemma covers \
+         it, so it cannot be recorded in a certificate";
+    (* Certified path: an empty EB is the bubble lemma; an empty EB0 is
+       bubble insertion followed by buffer conversion, recorded as that
+       two-step derivation (the node keeps the bubble's default name). *)
+    let net1, b =
+      insert_buffer_raw net ~channel ~buffer:Netlist.Eb ~init:[]
+    in
+    record cert ~before:net ~after:net1 (Cert.Bubble { channel });
+    (match buffer with
+     | Netlist.Eb -> (net1, b)
+     | Netlist.Eb0 ->
+       let net2 =
+         Netlist.replace_kind net1 b
+           (Netlist.Buffer { buffer = Netlist.Eb0; init = [] })
+       in
+       record cert ~before:net1 ~after:net2
+         (Cert.Convert { node = b; buffer = Netlist.Eb0 });
+       (net2, b))
 
-let insert_fifo net ~channel ~depth =
+let insert_bubble ?cert net ~channel =
+  insert_buffer ?cert net ~channel ~buffer:Netlist.Eb ~init:[]
+
+let insert_fifo ?cert net ~channel ~depth =
   Elastic_lint.Precheck.insert_fifo net ~depth;
   (* Each inserted buffer's fresh output channel carries the rest of the
-     chain, so we keep splitting the channel we just created. *)
+     chain, so we keep splitting the channel we just created.  The whole
+     chain is one certificate step (the FIFO-insertion lemma). *)
   let rec go net channel acc k =
     if k = 0 then (net, List.rev acc)
     else begin
-      let net, b = insert_bubble net ~channel in
+      let net, b = insert_buffer_raw net ~channel ~buffer:Netlist.Eb ~init:[] in
       let next =
         match Netlist.channel_at net b (Netlist.Out 0) with
         | Some c -> c.Netlist.ch_id
@@ -32,7 +72,9 @@ let insert_fifo net ~channel ~depth =
       go net next (b :: acc) (k - 1)
     end
   in
-  go net channel [] depth
+  let net', ids = go net channel [] depth in
+  record cert ~before:net ~after:net' (Cert.Fifo { channel; depth });
+  (net', ids)
 
 let buffer_kind_and_init net b =
   match (Netlist.node net b).Netlist.kind with
@@ -51,8 +93,7 @@ let single_channel net node port =
       (Fmt.str "Transform: node %s has no channel at %a"
          (Netlist.node net node).Netlist.name Netlist.pp_port port)
 
-let remove_buffer net b =
-  Elastic_lint.Precheck.remove_buffer net b;
+let remove_buffer_raw net b =
   let in_ch = single_channel net b (Netlist.In 0) in
   let out_ch = single_channel net b (Netlist.Out 0) in
   let dst = out_ch.Netlist.dst in
@@ -63,10 +104,18 @@ let remove_buffer net b =
   in
   Netlist.remove_node net b
 
-let convert_buffer net b buffer =
+let remove_buffer ?cert net b =
+  Elastic_lint.Precheck.remove_buffer net b;
+  let net' = remove_buffer_raw net b in
+  record cert ~before:net ~after:net' (Cert.Remove_buffer { node = b });
+  net'
+
+let convert_buffer ?cert net b buffer =
   Elastic_lint.Precheck.convert_buffer net b buffer;
   let _, init = buffer_kind_and_init net b in
-  Netlist.replace_kind net b (Netlist.Buffer { buffer; init })
+  let net' = Netlist.replace_kind net b (Netlist.Buffer { buffer; init }) in
+  record cert ~before:net ~after:net' (Cert.Convert { node = b; buffer });
+  net'
 
 let func_of net id =
   match (Netlist.node net id).Netlist.kind with
@@ -77,7 +126,7 @@ let func_of net id =
       (Fmt.str "Transform: node %s is not a function block"
          (Netlist.node net id).Netlist.name)
 
-let retime_forward net ~through =
+let retime_forward ?cert net ~through =
   Elastic_lint.Precheck.retime_forward net ~through;
   let f = func_of net through in
   (* Every input must come from a buffer holding at least one token. *)
@@ -100,36 +149,42 @@ let retime_forward net ~through =
       input_buffers
   in
   let moved = Func.apply f heads in
-  let net =
+  let net' =
     List.fold_left
       (fun net (src, buffer, init) ->
          Netlist.replace_kind net src
            (Netlist.Buffer { buffer; init = List.tl init }))
       net input_buffers
   in
-  let out_ch = single_channel net through (Netlist.Out 0) in
-  insert_buffer net ~channel:out_ch.Netlist.ch_id ~buffer:Netlist.Eb
-    ~init:[ moved ]
+  let out_ch = single_channel net' through (Netlist.Out 0) in
+  let net', b =
+    insert_buffer_raw net' ~channel:out_ch.Netlist.ch_id
+      ~buffer:Netlist.Eb ~init:[ moved ]
+  in
+  record cert ~before:net ~after:net' (Cert.Retime_fwd { through });
+  (net', b)
 
-let retime_backward net ~through =
+let retime_backward ?cert net ~through =
   Elastic_lint.Precheck.retime_backward net ~through;
   let f = func_of net through in
   let out_ch = single_channel net through (Netlist.Out 0) in
   let b = out_ch.Netlist.dst.Netlist.ep_node in
   let buffer, _ = buffer_kind_and_init net b in
-  let net = remove_buffer net b in
-  let net, ids =
+  Elastic_lint.Precheck.remove_buffer net b;
+  let net' = remove_buffer_raw net b in
+  let net', ids =
     List.fold_left
       (fun (net, acc) i ->
          let c = single_channel net through (Netlist.In i) in
          let net, id =
-           insert_buffer net ~channel:c.Netlist.ch_id ~buffer ~init:[]
+           insert_buffer_raw net ~channel:c.Netlist.ch_id ~buffer ~init:[]
          in
          (net, id :: acc))
-      (net, [])
+      (net', [])
       (List.init f.Func.arity (fun i -> i))
   in
-  (net, List.rev ids)
+  record cert ~before:net ~after:net' (Cert.Retime_bwd { through });
+  (net', List.rev ids)
 
 let mux_ways net mux =
   match (Netlist.node net mux).Netlist.kind with
@@ -140,7 +195,7 @@ let mux_ways net mux =
       (Fmt.str "Transform: node %s is not a multiplexor"
          (Netlist.node net mux).Netlist.name)
 
-let shannon net ~mux =
+let shannon ?cert net ~mux =
   Elastic_lint.Precheck.shannon net ~mux;
   let ways, _ = mux_ways net mux in
   let out_ch = single_channel net mux (Netlist.Out 0) in
@@ -148,14 +203,14 @@ let shannon net ~mux =
   let f = func_of net block in
   let block_out = single_channel net block (Netlist.Out 0) in
   (* Splice the block out of the multiplexor's output... *)
-  let net = Netlist.remove_channel net out_ch.Netlist.ch_id in
-  let net =
-    Netlist.set_src net block_out.Netlist.ch_id (mux, Netlist.Out 0)
+  let net' = Netlist.remove_channel net out_ch.Netlist.ch_id in
+  let net' =
+    Netlist.set_src net' block_out.Netlist.ch_id (mux, Netlist.Out 0)
   in
-  let net = Netlist.remove_node net block in
+  let net' = Netlist.remove_node net' block in
   (* ...and duplicate it onto every data input. *)
-  let base = (Netlist.node net mux).Netlist.name in
-  let net, copies =
+  let base = (Netlist.node net' mux).Netlist.name in
+  let net', copies =
     List.fold_left
       (fun (net, acc) i ->
          let d = single_channel net mux (Netlist.In i) in
@@ -169,26 +224,29 @@ let shannon net ~mux =
              (mux, Netlist.In i)
          in
          (net, fi :: acc))
-      (net, [])
+      (net', [])
       (List.init ways (fun i -> i))
   in
-  (net, List.rev copies)
+  record cert ~before:net ~after:net' (Cert.Shannon { mux });
+  (net', List.rev copies)
 
-let early_evaluation net ~mux =
+let early_evaluation ?cert net ~mux =
   Elastic_lint.Precheck.early_evaluation net ~mux;
   let ways, _ = mux_ways net mux in
-  Netlist.replace_kind net mux (Netlist.Mux { ways; early = true })
+  let net' = Netlist.replace_kind net mux (Netlist.Mux { ways; early = true }) in
+  record cert ~before:net ~after:net' (Cert.Early_eval { mux });
+  net'
 
-let share net ~blocks ~sched =
+let share ?cert net ~blocks ~sched =
   Elastic_lint.Precheck.share net ~blocks;
   let funcs = List.map (func_of net) blocks in
   let f = match funcs with f :: _ -> f | [] -> assert false in
   let ways = List.length blocks in
-  let net, sh =
+  let net', sh =
     Netlist.add_node net
       (Netlist.Shared { ways; f; sched; hinted = false })
   in
-  let net =
+  let net' =
     List.fold_left
       (fun net (i, b) ->
          let in_ch = single_channel net b (Netlist.In 0) in
@@ -200,7 +258,8 @@ let share net ~blocks ~sched =
            Netlist.set_src net out_ch.Netlist.ch_id (sh, Netlist.Out i)
          in
          Netlist.remove_node net b)
-      net
+      net'
       (List.mapi (fun i b -> (i, b)) blocks)
   in
-  (net, sh)
+  record cert ~before:net ~after:net' (Cert.Share { blocks; sched });
+  (net', sh)

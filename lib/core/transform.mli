@@ -1,6 +1,7 @@
 open Elastic_kernel
 open Elastic_sched
 open Elastic_netlist
+open Elastic_check
 
 (** Correct-by-construction transformations on elastic netlists (§3.3,
     §4).
@@ -11,39 +12,62 @@ open Elastic_netlist
     application raises [Diagnostic.Reject] carrying a typed diagnostic
     (codes E301-E308) naming the rule and the offending node; they never
     produce a netlist that fails validation.  ([Invalid_argument] still
-    escapes for malformed references, e.g. an unknown node id.) *)
+    escapes for malformed references, e.g. an unknown node id.)
+
+    {b Certificates.}  Every entry point takes an optional
+    [?cert:Cert.builder].  When present, each successful application
+    appends one typed {!Elastic_check.Cert.step} naming the
+    flow-equivalence lemma it instantiates, the side conditions that
+    held, and the netlist delta.  {!Elastic_check.Flow.verify} then
+    re-checks the whole derivation purely structurally, independently of
+    this module.  Steps are recorded {e after} the rewrite succeeds:
+    a rejected application (E301-E308) leaves both the netlist and the
+    certificate chain untouched. *)
 
 (** {1 Buffer transformations} *)
 
 (** [insert_buffer net ~channel ~buffer ~init] splits the channel with a
-    new elastic buffer and returns its node id. *)
+    new elastic buffer and returns its node id.
+
+    With a certificate builder, only empty buffers can be inserted
+    (token-holding insertion changes the transfer streams and has no
+    lemma; [Invalid_argument] is raised before any mutation).  An empty
+    [Eb] records one bubble-insertion step; an empty [Eb0] is recorded —
+    and performed — as bubble insertion followed by buffer conversion,
+    so the node carries the bubble's default name. *)
 val insert_buffer :
+  ?cert:Cert.builder ->
   Netlist.t -> channel:Netlist.channel_id -> buffer:Netlist.buffer_kind ->
   init:Value.t list -> Netlist.t * Netlist.node_id
 
 (** Bubble insertion (§2): an empty EB on any channel preserves transfer
     equivalence. *)
 val insert_bubble :
+  ?cert:Cert.builder ->
   Netlist.t -> channel:Netlist.channel_id -> Netlist.t * Netlist.node_id
 
 (** [insert_fifo net ~channel ~depth] chains [depth] empty EBs on the
     channel — a FIFO of capacity [2 * depth] (elastic systems are "a
     collection of blocks and FIFOs", §3); preserves transfer equivalence
-    and adds [depth] cycles of forward latency.
+    and adds [depth] cycles of forward latency.  Recorded as a single
+    FIFO-insertion certificate step.
     @raise Diagnostic.Reject (E301) when [depth < 1]. *)
 val insert_fifo :
+  ?cert:Cert.builder ->
   Netlist.t -> channel:Netlist.channel_id -> depth:int ->
   Netlist.t * Netlist.node_id list
 
 (** [remove_buffer net b] splices an {e empty} buffer out.
     @raise Diagnostic.Reject (E302) if the buffer holds tokens. *)
-val remove_buffer : Netlist.t -> Netlist.node_id -> Netlist.t
+val remove_buffer :
+  ?cert:Cert.builder -> Netlist.t -> Netlist.node_id -> Netlist.t
 
 (** [convert_buffer net b kind] swaps the buffer implementation, e.g. to
     the zero-backward-latency EB of §4.3 for fast anti-token return.
     @raise Diagnostic.Reject (E303) if the stored tokens exceed the new
     capacity [C = Lf + Lb]. *)
 val convert_buffer :
+  ?cert:Cert.builder ->
   Netlist.t -> Netlist.node_id -> Netlist.buffer_kind -> Netlist.t
 
 (** {1 Retiming} *)
@@ -52,11 +76,13 @@ val convert_buffer :
     input of the function block [through] to a fresh buffer on its output,
     recomputing the stored value as [f] of the moved tokens. *)
 val retime_forward :
+  ?cert:Cert.builder ->
   Netlist.t -> through:Netlist.node_id -> Netlist.t * Netlist.node_id
 
 (** [retime_backward net ~through] moves an {e empty} buffer from the
     output of [through] to fresh empty buffers on every input. *)
 val retime_backward :
+  ?cert:Cert.builder ->
   Netlist.t -> through:Netlist.node_id -> Netlist.t * Netlist.node_id list
 
 (** {1 The speculation pipeline (§4, steps 2-4)} *)
@@ -65,13 +91,16 @@ val retime_backward :
     block fed by the multiplexor's output is duplicated onto every data
     input.  Returns the copies, input order. *)
 val shannon :
+  ?cert:Cert.builder ->
   Netlist.t -> mux:Netlist.node_id -> Netlist.t * Netlist.node_id list
 
 (** Switch a multiplexor to early evaluation (anti-token emitting). *)
-val early_evaluation : Netlist.t -> mux:Netlist.node_id -> Netlist.t
+val early_evaluation :
+  ?cert:Cert.builder -> Netlist.t -> mux:Netlist.node_id -> Netlist.t
 
 (** [share net ~blocks ~sched] merges identical unary function blocks into
     one shared module arbitrated by [sched] (Fig. 4). *)
 val share :
+  ?cert:Cert.builder ->
   Netlist.t -> blocks:Netlist.node_id list -> sched:Scheduler.spec ->
   Netlist.t * Netlist.node_id

@@ -348,3 +348,144 @@ let random ~seed ~count =
   let st = Random.State.make [| seed; 0x11a7 |] in
   let n = List.length catalogue in
   List.init count (fun _ -> List.nth catalogue (Random.State.int st n))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence-breaking grafts.
+
+   Unlike the catalogue above — self-contained netlists violating one
+   lint rule — a graft edits an {e arbitrary} well-formed design into a
+   flow-INequivalent variant while keeping it lint-clean enough to
+   simulate.  They are the negative controls of the equivalence
+   checkers: both the static prover and co-simulation must refuse to
+   relate a design to its grafted twin.  [g_apply] returns [None] when
+   the design has no applicable site. *)
+
+type graft = {
+  g_name : string;
+  g_describe : string;
+  g_apply : Netlist.t -> Netlist.t option;
+}
+
+let find_kind net p =
+  List.find_opt (fun (n : Netlist.node) -> p n.Netlist.kind)
+    (Netlist.nodes net)
+
+let seed_token net =
+  match
+    find_kind net (function
+      | Netlist.Buffer { buffer; init } ->
+        List.length init < Netlist.buffer_capacity buffer
+      | _ -> false)
+  with
+  | Some ({ Netlist.kind = Netlist.Buffer { buffer; init }; _ } as n) ->
+    Some
+      (Netlist.replace_kind net n.Netlist.id
+         (Netlist.Buffer { buffer; init = init @ [ Value.Int 9999 ] }))
+  | _ -> None
+
+let drop_token net =
+  match
+    find_kind net (function
+      | Netlist.Buffer { init = _ :: _; _ } -> true
+      | _ -> false)
+  with
+  | Some ({ Netlist.kind = Netlist.Buffer { buffer; init = _ :: rest }; _ }
+          as n) ->
+    Some
+      (Netlist.replace_kind net n.Netlist.id
+         (Netlist.Buffer { buffer; init = rest }))
+  | _ -> None
+
+let swap_mux_inputs net =
+  match
+    find_kind net (function Netlist.Mux { ways; _ } -> ways >= 2 | _ -> false)
+  with
+  | Some m -> (
+      let id = m.Netlist.id in
+      match
+        ( Netlist.channel_at net id (Netlist.In 0),
+          Netlist.channel_at net id (Netlist.In 1) )
+      with
+      | Some c0, Some c1 ->
+        let s0 = c0.Netlist.src and s1 = c1.Netlist.src in
+        let w0 = c0.Netlist.width and w1 = c1.Netlist.width in
+        let net = Netlist.remove_channel net c0.Netlist.ch_id in
+        let net = Netlist.remove_channel net c1.Netlist.ch_id in
+        let net, _ =
+          Netlist.connect ~width:w0 net
+            (s0.Netlist.ep_node, s0.Netlist.ep_port) (id, Netlist.In 1)
+        in
+        let net, _ =
+          Netlist.connect ~width:w1 net
+            (s1.Netlist.ep_node, s1.Netlist.ep_port) (id, Netlist.In 0)
+        in
+        Some net
+      | _ -> None)
+  | None -> None
+
+(* Shape-preserving perturbation of one payload inside a value:
+   downstream decoders that destructure tuples (opcode tags, codeword
+   pairs) keep working, but the data — and hence the flow — changes.
+   Words get a double-bit upset (a single flip, or a +1 on a check
+   field, is exactly what SECDED-protected designs correct away, which
+   would leave the flows equal); plain integers get +1.  The rightmost
+   Word wins over any Int so codeword data is hit before check bits. *)
+let rec bump_with target v =
+  match target, v with
+  | `Word, Value.Word w -> Some (Value.Word (Int64.logxor w 3L))
+  | `Int, Value.Int i -> Some (Value.Int (i + 1))
+  | _, Value.Tuple vs ->
+    let rec go = function
+      | [] -> None
+      | last :: rev_rest -> (
+          match bump_with target last with
+          | Some last' -> Some (List.rev_append rev_rest [ last' ])
+          | None -> (
+              match go rev_rest with
+              | Some rest' -> Some (rest' @ [ last ])
+              | None -> None))
+    in
+    Option.map (fun vs -> Value.Tuple vs) (go (List.rev vs))
+  | _ -> None
+
+let bump_value v =
+  match bump_with `Word v with
+  | Some v' -> Some v'
+  | None -> bump_with `Int v
+
+let tweak_stream net =
+  match
+    find_kind net (function Netlist.Source _ -> true | _ -> false)
+  with
+  | Some ({ Netlist.kind = Netlist.Source s; _ } as n) -> (
+      let retarget spec =
+        Some (Netlist.replace_kind net n.Netlist.id (Netlist.Source spec))
+      in
+      match s with
+      | Netlist.Counter { start; step } ->
+        retarget (Netlist.Counter { start = start + 1; step })
+      | Netlist.Stream (v :: rest) -> (
+          match bump_value v with
+          | Some v' -> retarget (Netlist.Stream (v' :: rest))
+          | None -> None)
+      | Netlist.Nondet (v :: rest) -> (
+          match bump_value v with
+          | Some v' -> retarget (Netlist.Nondet (v' :: rest))
+          | None -> None)
+      | Netlist.Stream [] | Netlist.Nondet []
+      | Netlist.Random_rate _ -> None)
+  | _ -> None
+
+let grafts =
+  [ { g_name = "seed-token";
+      g_describe = "add a spurious token to a buffer with spare capacity";
+      g_apply = seed_token };
+    { g_name = "drop-token";
+      g_describe = "steal the oldest token from an occupied buffer";
+      g_apply = drop_token };
+    { g_name = "swap-mux-inputs";
+      g_describe = "cross the first two data inputs of a multiplexor";
+      g_apply = swap_mux_inputs };
+    { g_name = "tweak-stream";
+      g_describe = "perturb the first value a source will offer";
+      g_apply = tweak_stream } ]

@@ -100,30 +100,53 @@ let has_cycle n edges =
 let combinational_cycle n edges =
   (* A cycle with zero latency shows as a negative cycle for weights
      -latency... instead: drop latency edges and look for any cycle among
-     zero-latency edges using DFS. *)
+     zero-latency edges using DFS.  Returns a vertex on the cycle so the
+     diagnostic can name it. *)
   let adj = Array.make n [] in
   List.iter
     (fun e -> if e.latency = 0 then adj.(e.u) <- e.v :: adj.(e.u))
     edges;
   let color = Array.make n 0 in
+  let witness = ref None in
   let rec dfs u =
     color.(u) <- 1;
     let hit =
       List.exists
-        (fun v -> color.(v) = 1 || (color.(v) = 0 && dfs v))
+        (fun v ->
+           if color.(v) = 1 then begin
+             if !witness = None then witness := Some v;
+             true
+           end
+           else color.(v) = 0 && dfs v)
         adj.(u)
     in
     if not hit then color.(u) <- 2;
     hit
   in
   let rec any i = i < n && ((color.(i) = 0 && dfs i) || any (i + 1)) in
-  any 0
+  if any 0 then !witness else None
+
+(* The zero-latency cycle is the same defect lint reports as E102
+   (comb-cycle): no EB registers the loop.  Raising the typed diagnostic
+   keeps provenance consistent between the lint engine and the analytic
+   bounds. *)
+let reject_comb_cycle ~what (nodes : Netlist.node array) v =
+  let n = nodes.(v) in
+  Diagnostic.reject
+    (Diagnostic.make ~code:"E102" ~rule:"comb-cycle"
+       ~severity:Diagnostic.Error ~node:n.Netlist.id
+       ~node_name:n.Netlist.name
+       (Fmt.str
+          "Marked_graph.%s: zero-latency cycle through %s (no EB \
+           registers the loop, so the token/EB ratio is undefined)"
+          what n.Netlist.name))
 
 let throughput_bound net =
   let nodes, edges = graph_of net in
   let n = Array.length nodes in
-  if combinational_cycle n edges then
-    invalid_arg "Marked_graph.throughput_bound: zero-latency cycle";
+  (match combinational_cycle n edges with
+   | Some v -> reject_comb_cycle ~what:"throughput_bound" nodes v
+   | None -> ());
   if not (has_cycle n edges) then 1.0
   else begin
     (* Largest lambda in [0, 1] admitting no negative cycle. *)
@@ -141,8 +164,9 @@ let throughput_bound net =
 let critical_cycle net =
   let nodes, edges = graph_of net in
   let n = Array.length nodes in
-  if combinational_cycle n edges then
-    invalid_arg "Marked_graph.critical_cycle: zero-latency cycle";
+  (match combinational_cycle n edges with
+   | Some v -> reject_comb_cycle ~what:"critical_cycle" nodes v
+   | None -> ());
   if not (has_cycle n edges) then None
   else begin
     let bound = throughput_bound net in

@@ -27,10 +27,14 @@ val pp_cycle : Format.formatter -> cycle -> unit
 
 (** [throughput_bound net] is the minimum cycle ratio, or [1.0] when the
     netlist has no token-bearing cycles (feed-forward pipelines).
-    @raise Invalid_argument on a zero-latency cycle (combinational loop). *)
+    @raise Diagnostic.Reject on a zero-latency cycle (combinational
+    loop): a typed diagnostic carrying the lint engine's E102
+    (comb-cycle) code and naming a node on the cycle. *)
 val throughput_bound : Netlist.t -> float
 
-(** The cycle attaining the bound, when any directed cycle exists. *)
+(** The cycle attaining the bound, when any directed cycle exists.
+    @raise Diagnostic.Reject (E102) on a zero-latency cycle, as
+    {!throughput_bound}. *)
 val critical_cycle : Netlist.t -> cycle option
 
 (** [effective_cycle_time net] is cycle time divided by the throughput

@@ -43,7 +43,7 @@ let analyze eng =
   let net = Engine.netlist eng in
   let critical =
     try Elastic_perf.Marked_graph.critical_cycle net
-    with Invalid_argument _ -> None
+    with Invalid_argument _ | Elastic_netlist.Diagnostic.Reject _ -> None
   in
   let links = List.map (link_of eng) (Netlist.channels net) in
   let best = function

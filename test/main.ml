@@ -12,6 +12,7 @@ let () =
       ("core.examples", Test_examples.suite);
       ("check", Test_check.suite);
       ("core.transform", Test_transform.suite);
+      ("check.flow", Test_flow.suite);
       ("perf", Test_perf.suite);
       ("emitters", Test_emitters.suite);
       ("shell", Test_shell.suite);

@@ -90,11 +90,12 @@ let suite =
         let _ = conn b (f, Out 0) (fk, In 0) in
         let _ = conn b (fk, Out 0) (f, In 1) in
         let _ = conn b (fk, Out 1) (k, In 0) in
-        Alcotest.(check bool) "raises" true
+        Alcotest.(check bool) "raises typed E102" true
           (try
              ignore (Marked_graph.throughput_bound b.net);
              false
-           with Invalid_argument _ -> true));
+           with Elastic_netlist.Diagnostic.Reject d ->
+             String.equal d.Elastic_netlist.Diagnostic.code "E102"));
     Alcotest.test_case "effective cycle time = cycle time / bound" `Quick
       (fun () ->
         let net, _ = loop ~tokens:1 ~n_ebs:2 in
